@@ -1,0 +1,41 @@
+"""Ablations of the Section-VI memory-layout decisions.
+
+Asserted: packing slots causes false-sharing DRAM traffic and never
+wins; one software flush beats per-line atomics for multi-line buffers.
+"""
+
+from benchmarks.conftest import print_table, run_once, stash
+from repro.experiments import ablation_buffers, ablation_slots
+
+
+def test_ablation_slot_per_cacheline(benchmark):
+    results = run_once(benchmark, ablation_slots.run_both)
+    print_table(
+        "Ablation: syscall-area slot layout",
+        ["layout", "runtime (us)", "GPU DRAM accesses"],
+        [
+            (name, f"{elapsed / 1000:.1f}", dram)
+            for name, (elapsed, dram) in results.items()
+        ],
+    )
+    stash(
+        benchmark,
+        linear_dram=results["one-per-line"][1],
+        packed_dram=results["packed-4-per-line"][1],
+    )
+    assert results["packed-4-per-line"][1] > results["one-per-line"][1]
+    assert results["packed-4-per-line"][0] >= results["one-per-line"][0]
+
+
+def test_ablation_buffer_coherence_strategy(benchmark):
+    atomics_ns, flush_ns = run_once(benchmark, ablation_buffers.run_strategies)
+    print_table(
+        "Ablation: syscall-buffer coherence strategy (16 KiB buffer)",
+        ["strategy", "time (us)"],
+        [
+            ("per-line atomics", f"{atomics_ns / 1000:.1f}"),
+            ("write + software L1 flush", f"{flush_ns / 1000:.1f}"),
+        ],
+    )
+    stash(benchmark, atomics_ns=atomics_ns, flush_ns=flush_ns)
+    assert flush_ns < 0.5 * atomics_ns

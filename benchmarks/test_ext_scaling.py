@@ -1,0 +1,56 @@
+"""Extension: what bounds GENESYS throughput?
+
+Asserted: CPU cores scale a servicing-bound syscall burst nearly
+linearly at first; SSD channels scale the I/O-bound wordcount; GPU
+compute units do not move an I/O-bound workload.
+"""
+
+from benchmarks.conftest import print_table, run_once, stash
+from repro.experiments import ext_scaling as scaling
+
+
+def test_ext_scaling_bottlenecks(benchmark):
+    def experiment():
+        return {
+            "cores": scaling.sweep_cpu_cores(),
+            "channels": scaling.sweep_ssd_channels(),
+            "cus": scaling.sweep_gpu_cus(),
+        }
+
+    results = run_once(benchmark, experiment)
+    cores = results["cores"]
+    channels = results["channels"]
+    cus = results["cus"]
+    base = cores[scaling.CPU_CORES[0]]
+    print_table(
+        "Scaling: CPU cores (servicing-bound tmpfs pread burst)",
+        ["cores", "runtime (us)", "speedup"],
+        [(c, f"{t / 1000:.1f}", f"{base / t:.2f}x") for c, t in cores.items()],
+    )
+    base_ch = channels[scaling.SSD_CHANNELS[0]]
+    print_table(
+        "Scaling: SSD channels (I/O-bound wordcount)",
+        ["channels", "runtime (ms)", "speedup"],
+        [(c, f"{t / 1e6:.2f}", f"{base_ch / t:.2f}x") for c, t in channels.items()],
+    )
+    print_table(
+        "Scaling: GPU compute units (flat: the workload is I/O-bound)",
+        ["CUs", "runtime (ms)"],
+        [(c, f"{t / 1e6:.2f}") for c, t in cus.items()],
+    )
+    stash(
+        benchmark,
+        core_speedup_4=base / cores[4],
+        channel_speedup_8=base_ch / channels[8],
+    )
+
+    # Cores scale the servicing-bound burst (2 cores ~ 2x, still
+    # improving at 8).
+    assert base / cores[2] > 1.6
+    assert cores[8] < cores[4] < cores[2] < cores[1]
+    # Channels scale the I/O-bound workload with diminishing returns.
+    assert base_ch / channels[8] > 1.5
+    assert channels[16] <= channels[8] <= channels[4] <= channels[1]
+    # GPU size does not move an I/O-bound workload (within 5%).
+    values = list(cus.values())
+    assert max(values) / min(values) < 1.05

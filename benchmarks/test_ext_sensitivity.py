@@ -1,0 +1,52 @@
+"""Extension: sensitivity of GENESYS to its implementation knobs.
+
+Asserted: coarser polling slows completion; a slower halt-resume wake
+slows halt-mode calls; more OS workers speed up a syscall burst (with
+diminishing returns once the CPU cores are the limit).
+"""
+
+from benchmarks.conftest import print_table, run_once, stash
+from repro.experiments import ext_sensitivity as sens
+
+
+def test_ext_sensitivity_sweeps(benchmark):
+    def experiment():
+        return {
+            "poll": sens.sweep_poll_interval(),
+            "halt": sens.sweep_halt_latency(),
+            "workers": sens.sweep_workers(),
+        }
+
+    results = run_once(benchmark, experiment)
+    print_table(
+        "Sensitivity: GPU poll interval (polling wait)",
+        ["poll interval (ns)", "runtime (us)"],
+        [(int(k), f"{v / 1000:.1f}") for k, v in results["poll"].items()],
+    )
+    print_table(
+        "Sensitivity: halt-resume wake latency",
+        ["resume latency (ns)", "runtime (us)"],
+        [(int(k), f"{v / 1000:.1f}") for k, v in results["halt"].items()],
+    )
+    print_table(
+        "Sensitivity: OS worker-pool size (64-call burst)",
+        ["workers", "runtime (us)"],
+        [(k, f"{v / 1000:.1f}") for k, v in results["workers"].items()],
+    )
+    stash(
+        benchmark,
+        poll_fast=results["poll"][sens.POLL_INTERVALS[0]],
+        poll_slow=results["poll"][sens.POLL_INTERVALS[-1]],
+        workers_few=results["workers"][sens.WORKER_COUNTS[0]],
+        workers_many=results["workers"][sens.WORKER_COUNTS[-1]],
+    )
+
+    poll = results["poll"]
+    halt = results["halt"]
+    workers = results["workers"]
+    # Coarser polling can only delay completion observation.
+    assert poll[sens.POLL_INTERVALS[0]] <= poll[sens.POLL_INTERVALS[-1]]
+    # A slower wake hurts halt-resume calls.
+    assert halt[sens.HALT_LATENCIES[0]] <= halt[sens.HALT_LATENCIES[-1]]
+    # More workers help the 64-call burst substantially.
+    assert workers[sens.WORKER_COUNTS[-1]] < workers[sens.WORKER_COUNTS[0]]

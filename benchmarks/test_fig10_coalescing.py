@@ -1,0 +1,38 @@
+"""Figure 10: implications of system-call coalescing.
+
+Shape asserted: coalescing (batch <= 8) helps small reads measurably
+(paper: 10-15%) and fades to nothing as per-call bytes grow.
+"""
+
+from benchmarks.conftest import print_table, run_once, stash
+from repro.experiments import fig10_coalescing as fig10
+
+
+def test_fig10_interrupt_coalescing(benchmark):
+    results = run_once(benchmark, fig10.run_sweep)
+    print_table(
+        "Figure 10: latency per requested byte (ns/B)",
+        ["bytes/call", "no coalescing", "coalesce<=8", "benefit"],
+        [
+            (
+                size,
+                f"{results[size]['none']:.1f}",
+                f"{results[size]['coalesce8']:.1f}",
+                f"{100 * (results[size]['none'] / results[size]['coalesce8'] - 1):+.1f}%",
+            )
+            for size in fig10.READ_SIZES
+        ],
+    )
+    small = fig10.READ_SIZES[0]
+    large = fig10.READ_SIZES[-1]
+    stash(
+        benchmark,
+        small_benefit=results[small]["none"] / results[small]["coalesce8"],
+        large_benefit=results[large]["none"] / results[large]["coalesce8"],
+    )
+
+    small_gain = results[small]["none"] / results[small]["coalesce8"] - 1
+    large_gain = results[large]["none"] / results[large]["coalesce8"] - 1
+    assert small_gain > 0.05
+    assert large_gain < small_gain
+    assert abs(large_gain) < 0.1

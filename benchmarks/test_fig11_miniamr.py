@@ -1,0 +1,46 @@
+"""Figure 11: miniAMR memory footprint under GPU-directed madvise.
+
+Shape asserted: the no-madvise baseline is killed by the GPU watchdog
+("there is no baseline to compare to"); both watermark variants
+complete; the lower watermark has a lower footprint but longer runtime.
+"""
+
+from benchmarks.conftest import print_table, run_once, stash
+from repro.experiments import fig11_miniamr as fig11
+
+
+def test_fig11_miniamr_memory_footprint(benchmark):
+    results = run_once(benchmark, fig11.run_variants)
+    print_table(
+        "Figure 11: miniAMR with GPU-directed memory management",
+        ["variant", "outcome", "runtime (ms)", "peak RSS (KiB)", "major faults"],
+        [
+            (
+                name,
+                "completed" if res.metrics["completed"] else "KILLED (watchdog)",
+                f"{res.runtime_ms:.2f}",
+                res.metrics["peak_rss_bytes"] // 1024,
+                res.metrics["major_faults"],
+            )
+            for name, res in results.items()
+        ],
+    )
+    stash(
+        benchmark,
+        high_runtime_ns=results["rss-high"].runtime_ns,
+        low_runtime_ns=results["rss-low"].runtime_ns,
+        high_peak=results["rss-high"].metrics["peak_rss_bytes"],
+        low_peak=results["rss-low"].metrics["peak_rss_bytes"],
+    )
+
+    assert not results["baseline"].metrics["completed"]
+    assert results["rss-high"].metrics["completed"]
+    assert results["rss-low"].metrics["completed"]
+    assert (
+        results["rss-low"].metrics["peak_rss_bytes"]
+        <= results["rss-high"].metrics["peak_rss_bytes"]
+    )
+    assert results["rss-low"].runtime_ns > results["rss-high"].runtime_ns
+    for name in ("rss-high", "rss-low"):
+        series = results[name].metrics["rss_series"]
+        assert max(value for _, value in series) <= fig11.PHYS_MEM

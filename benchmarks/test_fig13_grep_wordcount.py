@@ -1,0 +1,52 @@
+"""Figure 13: the storage workloads (grep and wordcount).
+
+Shapes asserted: (a) GENESYS grep beats OpenMP; WI-halt-resume beats
+WI-polling.  (b) GENESYS wordcount is several-fold over the CPU
+(paper: ~6x); the GPU without syscalls loses to the CPU.
+"""
+
+from benchmarks.conftest import print_table, run_once, stash
+from repro.experiments import fig13a_grep as fig13a
+from repro.experiments import fig13b_wordcount as fig13b
+
+
+def test_fig13a_grep(benchmark):
+    results = run_once(benchmark, fig13a.run_variants)
+    base = results["cpu"].runtime_ns
+    print_table(
+        "Figure 13a: grep -F -l runtime",
+        ["variant", "runtime (ms)", "speedup vs cpu"],
+        [
+            (name, f"{res.runtime_ms:.2f}", f"{base / res.runtime_ns:.2f}x")
+            for name, res in results.items()
+        ],
+    )
+    stash(benchmark, **{name: res.runtime_ns for name, res in results.items()})
+
+    matches = {tuple(res.metrics["files_matched"]) for res in results.values()}
+    assert len(matches) == 1
+    assert results["openmp"].runtime_ns < results["cpu"].runtime_ns
+    assert results["wi-halt"].runtime_ns < results["openmp"].runtime_ns
+    assert results["wi-halt"].runtime_ns < results["wi-poll"].runtime_ns
+
+
+def test_fig13b_wordcount(benchmark):
+    results = run_once(benchmark, fig13b.run_variants)
+    base = results["cpu"][1].runtime_ns
+    print_table(
+        "Figure 13b: wordcount (open/read/close from SSD)",
+        ["variant", "runtime (ms)", "speedup vs cpu"],
+        [
+            (name, f"{res.runtime_ms:.2f}", f"{base / res.runtime_ns:.2f}x")
+            for name, (_system, res) in results.items()
+        ],
+    )
+    stash(benchmark, **{name: res.runtime_ns for name, (_s, res) in results.items()})
+
+    counts = [
+        {k: v for k, v in res.metrics["counts"].items() if v}
+        for _s, res in results.values()
+    ]
+    assert counts[0] == counts[1] == counts[2]
+    assert base / results["genesys"][1].runtime_ns > 3.0
+    assert results["gpu-nosyscall"][1].runtime_ns > results["cpu"][1].runtime_ns

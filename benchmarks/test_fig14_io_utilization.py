@@ -1,0 +1,47 @@
+"""Figure 14: wordcount I/O throughput and CPU utilisation traces.
+
+Shape asserted: GENESYS extracts several times the disk throughput
+(paper: ~5.7x), keeps a deeper I/O queue, and leaves the CPU largely
+free to service syscalls.
+"""
+
+from benchmarks.conftest import print_table, run_once, stash
+from repro.experiments import fig14_io as fig14
+
+
+def test_fig14_io_and_cpu_utilization(benchmark):
+    results = run_once(benchmark, fig14.run_both)
+    measured = fig14.measurements(results)
+    print_table(
+        "Figure 14: wordcount I/O throughput and CPU utilisation",
+        ["variant", "runtime (ms)", "disk MB/s", "CPU util", "peak I/O queue"],
+        [
+            (
+                name,
+                f"{results[name][1].runtime_ms:.2f}",
+                f"{measured[name][0]:.0f}",
+                f"{100 * measured[name][1]:.0f}%",
+                measured[name][2],
+            )
+            for name in results
+        ],
+    )
+    system, _result = results["genesys"]
+    bin_ns = max(1.0, system.now / fig14.TRACE_BINS)
+    series = system.kernel.disk.throughput_series(bin_ns)
+    print_table(
+        "GENESYS disk-throughput trace",
+        ["t (ms)", "MB/s"],
+        [(f"{t / 1e6:.2f}", f"{rate * 1000:.0f}") for t, rate in series],
+    )
+    stash(
+        benchmark,
+        cpu_mbps=measured["cpu"][0],
+        genesys_mbps=measured["genesys"][0],
+        cpu_util_cpu=measured["cpu"][1],
+        cpu_util_genesys=measured["genesys"][1],
+    )
+
+    assert measured["genesys"][0] > 3.0 * measured["cpu"][0]
+    assert measured["genesys"][2] > measured["cpu"][2]
+    assert measured["cpu"][1] > measured["genesys"][1]

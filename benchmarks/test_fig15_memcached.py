@@ -1,0 +1,58 @@
+"""Figure 15: latency and throughput of UDP memcached.
+
+Shapes asserted: GENESYS wins 15-60%/15-70% on latency/throughput at
+1024 elems/bucket (paper: 30-40% on both); the GPU without direct
+syscalls loses to the CPU; the GPU's advantage grows with occupancy.
+"""
+
+from benchmarks.conftest import print_table, run_once, stash
+from repro.experiments import fig15_memcached as fig15
+
+
+def test_fig15_memcached_latency_throughput(benchmark):
+    results = run_once(benchmark, fig15.run_variants)
+    print_table(
+        "Figure 15: memcached GETs (1024 elems/bucket, 1KB values)",
+        ["variant", "mean lat (us)", "p99 lat (us)", "throughput (req/s)"],
+        [
+            (
+                name,
+                f"{res.metrics['mean_latency_ns'] / 1000:.1f}",
+                f"{res.metrics['p99_latency_ns'] / 1000:.1f}",
+                f"{res.metrics['throughput_rps']:.0f}",
+            )
+            for name, res in results.items()
+        ],
+    )
+    cpu = results["cpu"].metrics
+    genesys = results["genesys"].metrics
+    nosys = results["gpu-nosyscall"].metrics
+    lat_gain = cpu["mean_latency_ns"] / genesys["mean_latency_ns"] - 1
+    thpt_gain = genesys["throughput_rps"] / cpu["throughput_rps"] - 1
+    print(
+        f"\nGENESYS vs CPU: latency {100*lat_gain:.0f}% better, "
+        f"throughput {100*thpt_gain:.0f}% better (paper: 30-40%)"
+    )
+    stash(benchmark, lat_gain_pct=100 * lat_gain, thpt_gain_pct=100 * thpt_gain)
+
+    assert 0.15 <= lat_gain <= 0.60
+    assert 0.15 <= thpt_gain <= 0.70
+    assert nosys["mean_latency_ns"] > cpu["mean_latency_ns"]
+    assert nosys["throughput_rps"] < cpu["throughput_rps"]
+
+
+def test_fig15_bucket_occupancy_sweep(benchmark):
+    results = run_once(benchmark, fig15.run_occupancy_sweep)
+    print_table(
+        "Figure 15 sweep: mean GET latency (us) by bucket occupancy",
+        ["elems/bucket", "cpu", "genesys", "gpu advantage"],
+        [
+            (occ, f"{cpu / 1000:.1f}", f"{gpu / 1000:.1f}", f"{cpu / gpu:.2f}x")
+            for occ, (cpu, gpu) in results.items()
+        ],
+    )
+    small_adv = results[fig15.SWEEP_OCCUPANCY[0]][0] / results[fig15.SWEEP_OCCUPANCY[0]][1]
+    big_adv = results[fig15.SWEEP_OCCUPANCY[-1]][0] / results[fig15.SWEEP_OCCUPANCY[-1]][1]
+    stash(benchmark, small_adv=small_adv, big_adv=big_adv)
+    assert big_adv > small_adv
+    assert big_adv > 1.15

@@ -1,0 +1,34 @@
+"""Figure 1: the motivation — kernel-split baseline vs GPU syscalls.
+
+Asserted: the conventional pattern (one kernel launch per data chunk,
+CPU loading between launches) loses substantially to a single GENESYS
+kernel whose work-groups request their own data, and uses N launches
+where GENESYS uses one.
+"""
+
+from benchmarks.conftest import print_table, run_once, stash
+from repro.experiments import fig1_motivation as fig1
+
+
+def test_fig1_kernel_split_vs_direct_syscalls(benchmark):
+    def experiment():
+        conventional = fig1.run_conventional()
+        genesys, launches = fig1.run_genesys()
+        return conventional, genesys, launches
+
+    conventional, genesys, launches = run_once(benchmark, experiment)
+    print_table(
+        "Figure 1: kernel-split baseline vs direct GPU syscalls",
+        ["variant", "kernel launches", "runtime (ms)", "speedup"],
+        [
+            ("conventional (split kernels)", fig1.NUM_CHUNKS,
+             f"{conventional / 1e6:.3f}", "1.00x"),
+            ("GENESYS (one kernel)", launches, f"{genesys / 1e6:.3f}",
+             f"{conventional / genesys:.2f}x"),
+        ],
+    )
+    stash(benchmark, conventional_ns=conventional, genesys_ns=genesys)
+
+    assert launches == 1
+    # Eliminating the per-chunk launch round-trips wins by a wide margin.
+    assert conventional > 2.0 * genesys

@@ -1,0 +1,46 @@
+"""Figures 2/6: one system call, step by step.
+
+Asserted: each call walks the exact Figure-6 cycle (FREE → POPULATING →
+READY → PROCESSING → FINISHED → FREE) with GPU and CPU driving the
+edges the figure colours assign to them.
+"""
+
+from benchmarks.conftest import print_table, run_once, stash
+from repro.experiments import fig2_walkthrough as fig2
+
+CYCLE = [
+    ("free", "populating", "gpu"),
+    ("populating", "ready", "gpu"),
+    ("ready", "processing", "cpu"),
+    ("processing", "finished", "cpu"),
+    ("finished", "free", "gpu"),
+]
+
+
+def test_fig2_slot_walkthrough(benchmark):
+    log, total_ns, nbytes = run_once(benchmark, fig2.run_walkthrough)
+    rows = []
+    prev = None
+    for when, old, new, actor in log:
+        delta = "" if prev is None else f"+{(when - prev) / 1000:.2f}"
+        rows.append((f"{when / 1000:.2f}", delta, f"{old} -> {new}", actor.upper()))
+        prev = when
+    print_table(
+        "Figures 2/6: one system call, step by step",
+        ["t (us)", "delta (us)", "transition", "side"],
+        rows,
+    )
+    stash(benchmark, total_ns=total_ns, transitions=len(log))
+
+    assert nbytes == 4096
+    # Two calls (open + pread) -> two full Figure-6 cycles, in order.
+    assert len(log) == 2 * len(CYCLE)
+    for call_no in range(2):
+        cycle = log[call_no * len(CYCLE) : (call_no + 1) * len(CYCLE)]
+        for (when, old, new, actor), (want_old, want_new, want_actor) in zip(
+            cycle, CYCLE
+        ):
+            assert (old, new, actor) == (want_old, want_new, want_actor)
+    # Timestamps are monotone.
+    times = [when for when, *_ in log]
+    assert times == sorted(times)

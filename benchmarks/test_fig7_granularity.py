@@ -1,0 +1,54 @@
+"""Figure 7: impact of system-call invocation granularity.
+
+Shape asserted (paper Section VII):
+
+* work-item invocation performs worst (a flood of system calls),
+* kernel invocation loses at large files (one call, no CPU-side
+  parallelism in servicing it),
+* work-group invocation is the sweet spot,
+* larger work-groups beat wg64 (fewer calls for the same bytes).
+"""
+
+from benchmarks.conftest import print_table, run_once, stash
+from repro.experiments import fig7_granularity as fig7
+
+
+def test_fig7_left_invocation_granularity(benchmark):
+    results = run_once(benchmark, fig7.run_left)
+    print_table(
+        "Figure 7 (left): pread time (ms) by invocation granularity",
+        ["file size", "work-item", "work-group", "kernel"],
+        [
+            (
+                f"{size // 1024} KiB",
+                f"{results[size]['work-item'] / 1e6:.3f}",
+                f"{results[size]['work-group'] / 1e6:.3f}",
+                f"{results[size]['kernel'] / 1e6:.3f}",
+            )
+            for size in fig7.FILE_SIZES
+        ],
+    )
+    for size in fig7.FILE_SIZES:
+        stash(benchmark, **{f"wi_{size}": results[size]["work-item"]})
+
+    for size in fig7.FILE_SIZES:
+        row = results[size]
+        assert row["work-group"] <= row["work-item"]
+        assert row["work-group"] <= row["kernel"]
+    big = fig7.FILE_SIZES[-1]
+    assert results[big]["kernel"] > 1.2 * results[big]["work-group"]
+    small = fig7.FILE_SIZES[0]
+    assert results[small]["work-item"] > 1.2 * results[small]["work-group"]
+
+
+def test_fig7_right_workgroup_size(benchmark):
+    results = run_once(benchmark, fig7.run_right)
+    print_table(
+        "Figure 7 (right): pread time (ms) by work-group size",
+        ["wg size", "time (ms)"],
+        [(f"wg{wg}", f"{results[wg] / 1e6:.3f}") for wg in fig7.WG_SIZES],
+    )
+    stash(benchmark, **{f"wg{wg}_ns": results[wg] for wg in fig7.WG_SIZES})
+    # Larger work-groups -> fewer system calls -> faster than wg64.
+    assert results[fig7.WG_SIZES[-1]] < results[fig7.WG_SIZES[0]]
+    assert results[fig7.WG_SIZES[1]] < results[fig7.WG_SIZES[0]]

@@ -1,0 +1,38 @@
+"""Figure 8: blocking vs non-blocking x strong vs relaxed ordering.
+
+Shape asserted: strong-block worst at low iterations; non-blocking buys
+roughly the paper's ~30%; weak-non-block best; curves converge as
+compute per call grows.
+"""
+
+from benchmarks.conftest import print_table, run_once, stash
+from repro.experiments import fig8_ordering as fig8
+
+
+def test_fig8_blocking_and_ordering(benchmark):
+    results = run_once(benchmark, fig8.run_sweep)
+    names = [name for name, _, _ in fig8.CONFIGS]
+    print_table(
+        "Figure 8: time per permutation iteration (us)",
+        ["iterations"] + names,
+        [
+            tuple([str(iters)] + [f"{results[name][iters] / 1000:.1f}" for name in names])
+            for iters in fig8.ITERATIONS
+        ],
+    )
+    low = fig8.ITERATIONS[0]
+    high = fig8.ITERATIONS[-1]
+    stash(
+        benchmark,
+        strong_block_low_ns=results["strong-block"][low],
+        weak_non_block_low_ns=results["weak-non-block"][low],
+    )
+
+    for name in names[1:]:
+        assert results[name][low] < results["strong-block"][low]
+    gain = results["strong-block"][low] / results["strong-non-block"][low] - 1
+    assert gain > 0.15
+    assert results["weak-non-block"][low] == min(results[name][low] for name in names)
+    spread_low = results["strong-block"][low] / results["weak-non-block"][low]
+    spread_high = results["strong-block"][high] / results["weak-non-block"][high]
+    assert spread_high < spread_low

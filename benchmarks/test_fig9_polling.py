@@ -1,0 +1,31 @@
+"""Figure 9: polling-induced memory contention.
+
+Shape asserted: CPU access throughput is unaffected while the GPU's
+polled slot lines fit the L2, and collapses once they spill to DRAM —
+the knee at the 4096-line L2 capacity.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_table, run_once, stash
+from repro.experiments import fig9_polling as fig9
+from repro.machine import MachineConfig
+
+
+def test_fig9_polling_contention(benchmark):
+    results = run_once(benchmark, fig9.run_sweep)
+    l2_lines = MachineConfig().gpu_l2_lines
+    print_table(
+        f"Figure 9: CPU access throughput vs polled GPU lines (L2 = {l2_lines})",
+        ["polled lines", "CPU accesses/us", "fits in L2?"],
+        [
+            (n, f"{results[n]:.2f}", "yes" if n <= l2_lines else "no")
+            for n in fig9.POLLED_LINES
+        ],
+    )
+    stash(benchmark, **{f"lines_{n}": results[n] for n in fig9.POLLED_LINES})
+
+    assert results[1024] == pytest.approx(results[256], rel=0.1)
+    assert results[8192] < 0.5 * results[256]
+    assert results[16384] < 0.5 * results[256]
+    assert results[4096] >= results[8192] >= results[16384] * 0.95

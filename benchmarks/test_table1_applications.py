@@ -1,0 +1,30 @@
+"""Table I: the applications GENESYS enables and the syscalls each uses.
+
+Asserted: every case-study workload actually invokes the system calls
+the paper's Table I attributes to it.
+"""
+
+from benchmarks.conftest import print_table, run_once, stash
+from repro.experiments import table1_applications as table1
+
+
+def test_table1_applications(benchmark):
+    used = run_once(benchmark, table1.run_all)
+    print_table(
+        "Table I: applications and the syscalls they exercise",
+        ["application", "type", "Table I syscalls", "observed"],
+        [
+            (
+                app,
+                app_type,
+                ", ".join(sorted(expected)),
+                ", ".join(sorted(used[app] & expected)),
+            )
+            for app, (app_type, expected) in table1.TABLE1.items()
+        ],
+    )
+    stash(benchmark, apps=len(table1.TABLE1))
+
+    for app, (_type, expected) in table1.TABLE1.items():
+        missing = expected - used[app]
+        assert not missing, f"{app} did not invoke {missing}"

@@ -1,0 +1,51 @@
+"""Table II + Section IV: classifying Linux's system calls.
+
+Asserted: ~79% readily implementable, ~13% need hardware changes, ~8%
+extensive modification, over 300+ classified calls.
+"""
+
+from benchmarks.conftest import print_table, run_once, stash
+from repro.experiments import table2_classification as table2
+from repro.core.classification import table2_rows
+
+
+def test_table2_syscall_classification(benchmark):
+    info = run_once(benchmark, table2.run).data
+
+    print_table(
+        "Section IV: classification of Linux system calls",
+        ["category", "count", "share", "paper"],
+        [
+            ("readily implementable", info["ready"], f"{info['ready_pct']:.1f}%", "~79%"),
+            ("needs GPU hw changes", info["hw_changes"], f"{info['hw_changes_pct']:.1f}%", "13%"),
+            ("extensive modification", info["extensive"], f"{info['extensive_pct']:.1f}%", "8%"),
+            ("total classified", info["total"], "100%", "300+"),
+        ],
+    )
+    examples = {}
+    for row in table2_rows():
+        examples.setdefault(row["reason"], []).append(row["example"])
+    print_table(
+        "Table II: examples needing GPU hardware changes",
+        ["reason", "examples"],
+        [
+            (
+                reason[:60],
+                ", ".join(sorted(names)[:6]) + ("..." if len(names) > 6 else ""),
+            )
+            for reason, names in examples.items()
+        ],
+    )
+    stash(
+        benchmark,
+        total=info["total"],
+        ready_pct=info["ready_pct"],
+        hw_pct=info["hw_changes_pct"],
+        ext_pct=info["extensive_pct"],
+    )
+
+    assert info["total"] >= 300
+    assert 76 <= info["ready_pct"] <= 82
+    assert 11 <= info["hw_changes_pct"] <= 15
+    assert 6 <= info["extensive_pct"] <= 10
+    assert len(info["implemented"]) >= 15

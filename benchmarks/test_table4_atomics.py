@@ -1,0 +1,26 @@
+"""Table IV: profiled latency of GPU atomic operations.
+
+Asserted: the ordering cmp-swap > swap > atomic-load > load that the
+slot protocol is built around, with atomics ~2x a plain load.
+"""
+
+from benchmarks.conftest import print_table, run_once, stash
+from repro.experiments import table4_atomics as table4
+
+
+def test_table4_atomic_latencies(benchmark):
+    measured = run_once(benchmark, table4.measure_all)
+    print_table(
+        "Table IV: profiled GPU memory-op latency",
+        ["op", "measured (us)", "paper ordering"],
+        [
+            (op, f"{measured[op] / 1000:.3f}", "cmp-swap > swap > atomic-load > load")
+            for op in table4.OPS
+        ],
+    )
+    stash(benchmark, **{f"{op}_ns": measured[op] for op in table4.OPS})
+
+    assert measured["cmp-swap"] > measured["swap"]
+    assert measured["swap"] > measured["atomic-load"]
+    assert measured["atomic-load"] > measured["load"]
+    assert measured["cmp-swap"] / measured["load"] > 1.5

@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""GPU grep: the paper's Section VIII-C storage case study.
+
+Runs ``grep -F -l`` four ways — single-threaded CPU, OpenMP-style CPU,
+GENESYS with work-item invocation (polling and halt-resume) — and
+prints the Figure 13a comparison.  Matching filenames stream to the
+simulated console the moment a work-item finds them.
+
+Run:  python examples/gpu_grep.py
+"""
+
+from repro import Granularity, MachineConfig, System, WaitMode
+from repro.workloads.grepwl import GrepWorkload
+
+
+def fresh_workload():
+    # Scaled corpus; the GPU L2 is scaled with it so work-item polling
+    # pressure is proportional to the paper's (see EXPERIMENTS.md).
+    system = System(config=MachineConfig(gpu_l2_lines=256))
+    return GrepWorkload(system, num_files=64, file_bytes=65536)
+
+
+def main() -> None:
+    results = []
+    wl = fresh_workload()
+    results.append(wl.run_cpu(threads=1))
+    results.append(fresh_workload().run_cpu(threads=4))
+    results.append(
+        fresh_workload().run_genesys(Granularity.WORK_ITEM, WaitMode.POLL)
+    )
+    wl_halt = fresh_workload()
+    results.append(wl_halt.run_genesys(Granularity.WORK_ITEM, WaitMode.HALT_RESUME))
+    results.append(
+        fresh_workload().run_genesys(Granularity.WORK_GROUP, WaitMode.POLL)
+    )
+
+    print(f"{'variant':<18} {'runtime (ms)':>12} {'vs cpu':>8}")
+    base = results[0].runtime_ns
+    for result in results:
+        print(
+            f"{result.variant:<18} {result.runtime_ms:>12.3f} "
+            f"{base / result.runtime_ns:>7.2f}x"
+        )
+    print()
+    print(f"files containing a word: {len(results[0].metrics['files_matched'])}")
+    print("first console lines from the GPU run:")
+    for line in wl_halt.console_lines()[:5]:
+        print(f"  {line}")
+
+
+if __name__ == "__main__":
+    main()

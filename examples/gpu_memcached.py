@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""GPU-accelerated memcached over UDP (Section VIII-D, Figure 15).
+
+A binary UDP memcached with a shared CPU/GPU hash table.  GPU
+work-groups loop recvfrom → parallel bucket scan → sendto entirely from
+kernel code; no RDMA hardware is assumed.  Compares CPU serving, GPU
+serving without direct syscalls (batched kernel launches), and GENESYS.
+
+Run:  python examples/gpu_memcached.py
+"""
+
+from repro import System
+from repro.workloads.memcachedwl import MemcachedWorkload
+
+
+def run_variant(name):
+    system = System()
+    workload = MemcachedWorkload(
+        system, num_buckets=8, elems_per_bucket=1024,
+        value_bytes=1024, num_requests=64,
+    )
+    result = getattr(workload, name)()
+    assert workload.verify(result.metrics["replies"]), "wrong values served!"
+    return result
+
+
+def main() -> None:
+    results = [
+        run_variant("run_cpu"),
+        run_variant("run_gpu_nosyscall"),
+        run_variant("run_genesys"),
+    ]
+    print(f"{'variant':<16} {'mean lat (us)':>14} {'p99 lat (us)':>13} {'thpt (req/s)':>13}")
+    for result in results:
+        metrics = result.metrics
+        print(
+            f"{result.variant:<16} {metrics['mean_latency_ns']/1000:>14.1f} "
+            f"{metrics['p99_latency_ns']/1000:>13.1f} "
+            f"{metrics['throughput_rps']:>13.0f}"
+        )
+    cpu, _nosys, genesys = results
+    lat_gain = cpu.metrics["mean_latency_ns"] / genesys.metrics["mean_latency_ns"] - 1
+    thpt_gain = (
+        genesys.metrics["throughput_rps"] / cpu.metrics["throughput_rps"] - 1
+    )
+    print()
+    print(
+        f"GENESYS vs CPU: {100*lat_gain:.0f}% lower latency, "
+        f"{100*thpt_gain:.0f}% higher throughput "
+        "(paper: 30-40% on both at 1024 elements/bucket)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+"""GENESYS reproduction: generic system calls for GPUs (ISCA 2018).
+
+A full-system discrete-event simulation of the paper's platform — a GPU
+execution hierarchy, a shared memory system, and a Linux-like OS
+substrate — with the GENESYS generic GPU system-call interface layered
+on top.  Start with :class:`repro.system.System`; write GPU kernels as
+generator functions and invoke POSIX calls from them via ``ctx.sys``.
+
+Example::
+
+    from repro import System, Granularity, Ordering
+
+    system = System()
+    system.kernel.fs.create_file("/tmp/data", b"x" * 4096)
+
+    def kern(ctx):
+        fd = yield from ctx.sys.open("/tmp/data",
+                                     granularity=Granularity.WORK_GROUP)
+        buf = ctx.kernel.shared["buf"]
+        n = yield from ctx.sys.pread(fd, buf, 64, 64 * ctx.global_id)
+        ...
+"""
+
+from repro.core import (
+    CoalescingConfig,
+    DeviceApi,
+    Genesys,
+    GenesysError,
+    Granularity,
+    Ordering,
+    OrderingError,
+    SyscallKind,
+    WaitMode,
+)
+from repro.gpu import Barrier, Compute, Gpu, KernelLaunch, MemRead, MemWrite
+from repro.machine import MachineConfig, paper_machine, small_machine
+from repro.memory.buffers import Buffer
+from repro.oskernel import Errno, LinuxKernel, OsError, OsProcess
+from repro.system import System
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Barrier",
+    "Buffer",
+    "CoalescingConfig",
+    "Compute",
+    "DeviceApi",
+    "Errno",
+    "Genesys",
+    "GenesysError",
+    "Gpu",
+    "Granularity",
+    "KernelLaunch",
+    "LinuxKernel",
+    "MachineConfig",
+    "MemRead",
+    "MemWrite",
+    "Ordering",
+    "OrderingError",
+    "OsError",
+    "OsProcess",
+    "SyscallKind",
+    "System",
+    "WaitMode",
+    "paper_machine",
+    "small_machine",
+    "__version__",
+]

@@ -1,0 +1,44 @@
+"""GENESYS: the generic GPU system-call interface (the paper's core).
+
+Public surface:
+
+* :class:`~repro.core.genesys.Genesys` — the runtime wiring a GPU to the
+  OS kernel through the shared-memory syscall area, interrupts,
+  coalescing, and OS worker threads (paper Figure 2 / Section VI).
+* :class:`~repro.core.invocation.Granularity`, ``Ordering``, ``WaitMode``
+  — the design space of Section V.
+* :class:`~repro.core.device_api.DeviceApi` — what kernel code sees as
+  ``ctx.sys``: POSIX-named calls with per-invocation granularity,
+  ordering, blocking, and wait-mode control.
+* :mod:`~repro.core.classification` — the Section-IV classification of
+  all Linux system calls.
+"""
+
+from repro.core.coalescing import CoalescingConfig
+from repro.core.device_api import DeviceApi
+from repro.core.genesys import Genesys, GenesysError, OrderingError
+from repro.core.invocation import (
+    Granularity,
+    Ordering,
+    SyscallKind,
+    SyscallRequest,
+    WaitMode,
+)
+from repro.core.syscall_area import Slot, SlotState, SlotStateError, SyscallArea
+
+__all__ = [
+    "CoalescingConfig",
+    "DeviceApi",
+    "Genesys",
+    "GenesysError",
+    "Granularity",
+    "Ordering",
+    "OrderingError",
+    "Slot",
+    "SlotState",
+    "SlotStateError",
+    "SyscallArea",
+    "SyscallKind",
+    "SyscallRequest",
+    "WaitMode",
+]

@@ -1,0 +1,89 @@
+"""Interrupt coalescing (paper Section V-B / Figure 10).
+
+GENESYS "implements coalescing by waiting for a predetermined amount of
+time in the interrupt handler before enqueueing a task to process a
+system call"; two knobs — a time window and a maximum batch size — are
+exposed through sysfs on the real system and through
+:class:`CoalescingConfig` here.  Coalescing trades latency for
+throughput and implicitly serialises the bundled calls on one worker.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, List, Optional
+
+from repro.sim.engine import Simulator
+
+
+class CoalescingConfig:
+    """window_ns == 0 disables coalescing (every request is its own task)."""
+
+    __slots__ = ("window_ns", "max_batch")
+
+    def __init__(self, window_ns: float = 0.0, max_batch: int = 1):
+        if window_ns < 0:
+            raise ValueError("window must be non-negative")
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        self.window_ns = window_ns
+        self.max_batch = max_batch
+
+    @property
+    def enabled(self) -> bool:
+        return self.window_ns > 0 and self.max_batch > 1
+
+    def __repr__(self) -> str:
+        return f"CoalescingConfig(window={self.window_ns}ns, max_batch={self.max_batch})"
+
+
+class Coalescer:
+    """Accumulates interrupt payloads into bundles and flushes them.
+
+    A bundle flushes when the time window since its first member expires
+    or when it reaches ``max_batch`` members, whichever is first.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config: CoalescingConfig,
+        flush_fn: Callable[[List[Any]], None],
+    ):
+        self.sim = sim
+        self.config = config
+        self.flush_fn = flush_fn
+        self._bundle: List[Any] = []
+        self._bundle_seq = 0
+        self.bundles_flushed = 0
+        self.requests_seen = 0
+
+    def add(self, payload: Any) -> None:
+        """Add one interrupt payload (called from the handler)."""
+        self.requests_seen += 1
+        if not self.config.enabled:
+            self.flush_fn([payload])
+            self.bundles_flushed += 1
+            return
+        self._bundle.append(payload)
+        if len(self._bundle) == 1:
+            self.sim.process(self._window_timer(self._bundle_seq), name="coalesce-timer")
+        if len(self._bundle) >= self.config.max_batch:
+            self._flush()
+
+    def _window_timer(self, seq: int) -> Generator:
+        yield self.config.window_ns
+        # Only flush if this timer's bundle is still the open one.
+        if seq == self._bundle_seq and self._bundle:
+            self._flush()
+
+    def _flush(self) -> None:
+        bundle, self._bundle = self._bundle, []
+        self._bundle_seq += 1
+        self.bundles_flushed += 1
+        self.flush_fn(bundle)
+
+    @property
+    def mean_bundle_size(self) -> float:
+        if not self.bundles_flushed:
+            return 0.0
+        return self.requests_seen / self.bundles_flushed

@@ -1,0 +1,282 @@
+"""The device-side system-call API (what kernel code sees as ``ctx.sys``).
+
+Every POSIX call is available with per-invocation control over the
+Section-V design axes::
+
+    n = yield from ctx.sys.pread(fd, buf, count, offset,
+                                 granularity=Granularity.WORK_GROUP,
+                                 ordering=Ordering.RELAXED,
+                                 blocking=True,
+                                 wait=WaitMode.POLL)
+
+All methods are sub-generators composed of the primitive GPU ops, so
+claiming the slot costs a cmp-swap, populating it costs real stores, the
+state change costs a swap, polling costs atomic-loads against the L2,
+and halting costs the resume latency — the Table-IV / Figure-9 effects
+arise from the same code path the workloads use.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional, Tuple, TYPE_CHECKING
+
+from repro.core.invocation import (
+    Granularity,
+    Ordering,
+    SyscallKind,
+    SyscallRequest,
+    WaitMode,
+    syscall_kind,
+)
+from repro.core.syscall_area import Slot, SlotState
+from repro.gpu.ops import Atomic, Barrier, Do, L1Flush, MemWrite, Sleep, WaitAll
+from repro.memory.buffers import Buffer
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.genesys import Genesys
+    from repro.gpu.hierarchy import WorkItemCtx
+    from repro.gpu.wavefront import Wavefront
+
+
+class SyscallHandle:
+    """Returned by non-blocking invocations: completion can be checked
+    (but the paper's model is fire-and-forget plus a host-side drain)."""
+
+    __slots__ = ("slot", "request")
+
+    def __init__(self, slot: Slot, request: SyscallRequest):
+        self.slot = slot
+        self.request = request
+
+    @property
+    def done(self) -> bool:
+        completion = self.slot.completion
+        return bool(completion and completion.triggered)
+
+
+class DeviceApi:
+    def __init__(self, genesys: "Genesys", ctx: "WorkItemCtx", wavefront: "Wavefront"):
+        self._genesys = genesys
+        self._ctx = ctx
+        self._wavefront = wavefront
+        self._config = genesys.config
+        self._seq = 0
+
+    # -- the generic entry point ----------------------------------------------
+
+    def invoke(
+        self,
+        name: str,
+        *args,
+        granularity: Granularity = Granularity.WORK_ITEM,
+        ordering: Ordering = Ordering.STRONG,
+        blocking: bool = True,
+        wait: WaitMode = WaitMode.POLL,
+    ) -> Generator:
+        """Sub-generator: invoke syscall ``name`` with the given strategy.
+
+        Returns the call's result for blocking invocations reaching this
+        work-item (see below), a :class:`SyscallHandle` for non-blocking
+        ones, and ``None`` for work-items that merely cooperate:
+
+        * WORK_ITEM — every work-item invokes for itself (implies strong
+          ordering: the caller itself is ordered around its own call).
+        * WORK_GROUP — the group leader (local id 0) invokes; barriers
+          surround the call per ``ordering``; producer results are
+          published to the whole group, consumer results only reach the
+          leader.
+        * KERNEL — the kernel leader (global id 0) invokes for the whole
+          launch; requires relaxed ordering (strong would deadlock).
+        """
+        kind = syscall_kind(name)
+        if granularity is Granularity.WORK_ITEM:
+            result = yield from self._raw_invoke(name, args, blocking, wait, granularity)
+            return result
+        if granularity is Granularity.WORK_GROUP:
+            result = yield from self._workgroup_invoke(
+                name, args, kind, ordering, blocking, wait
+            )
+            return result
+        if granularity is Granularity.KERNEL:
+            result = yield from self._kernel_invoke(name, args, ordering, blocking, wait)
+            return result
+        raise ValueError(f"unknown granularity {granularity!r}")
+
+    # -- granularity strategies ---------------------------------------------
+
+    def _workgroup_invoke(
+        self,
+        name: str,
+        args: tuple,
+        kind: SyscallKind,
+        ordering: Ordering,
+        blocking: bool,
+        wait: WaitMode,
+    ) -> Generator:
+        self._seq += 1
+        key = ("sysres", self._seq)
+        group = self._ctx.group
+        pre_barrier = ordering is Ordering.STRONG or kind is SyscallKind.CONSUMER
+        post_barrier = ordering is Ordering.STRONG or kind is SyscallKind.PRODUCER
+        if pre_barrier:
+            yield Barrier()
+        if self._ctx.is_group_leader:
+            result = yield from self._raw_invoke(
+                name, args, blocking, wait, Granularity.WORK_GROUP
+            )
+            group.shared[key] = result
+        if post_barrier:
+            yield Barrier()
+            return group.shared.get(key)
+        # Relaxed consumer: only the leader observes the return value.
+        return group.shared.get(key) if self._ctx.is_group_leader else None
+
+    def _kernel_invoke(
+        self, name: str, args: tuple, ordering: Ordering, blocking: bool, wait: WaitMode
+    ) -> Generator:
+        from repro.core.genesys import OrderingError
+
+        if ordering is Ordering.STRONG:
+            raise OrderingError(
+                "strong ordering at kernel granularity can deadlock: a kernel "
+                "may hold more work-items than can execute concurrently and "
+                "GPU runtimes do not preempt (Section V-A)"
+            )
+        if not self._ctx.is_kernel_leader:
+            return None
+        result = yield from self._raw_invoke(name, args, blocking, wait, Granularity.KERNEL)
+        self._ctx.kernel.shared[("sysres", name)] = result
+        return result
+
+    # -- the slot protocol (Figure 6, GPU side) --------------------------------
+
+    def _raw_invoke(
+        self,
+        name: str,
+        args: tuple,
+        blocking: bool,
+        wait: WaitMode,
+        granularity: Granularity,
+    ) -> Generator:
+        genesys = self._genesys
+        cfg = self._config
+        slot = genesys.area.slot_for(self._wavefront.hw_id, self._ctx.lane)
+        request = SyscallRequest(
+            name, args, blocking, genesys.host_process, issued_at=None
+        )
+
+        # Claim: cmp-swap until the slot is FREE (a previous non-blocking
+        # call of ours may still be in flight — invocation is delayed).
+        while True:
+            yield Atomic("cmp-swap", slot.addr)
+            claimed = yield Do(slot.try_claim)
+            if claimed:
+                break
+            yield Sleep(cfg.poll_interval_ns)
+
+        # Consumer calls hand GPU-written buffers to the CPU: flush the
+        # non-coherent L1 so the CPU sees the data (Section VI).
+        if syscall_kind(name) is SyscallKind.CONSUMER:
+            for arg in args:
+                if isinstance(arg, Buffer):
+                    yield L1Flush(arg.addr, arg.size)
+
+        # Populate the 64-byte slot, then publish with an atomic swap.
+        yield Do(lambda: slot.populate(request))
+        yield MemWrite(slot.addr, cfg.cacheline_bytes)
+        yield Atomic("swap", slot.addr)
+        yield Do(slot.set_ready)
+        yield Do(lambda: genesys.note_issued(granularity))
+
+        # Interrupt the CPU (s_sendmsg scalar instruction).
+        yield Sleep(cfg.sendmsg_ns)
+        yield Do(lambda: genesys.raise_interrupt(self._wavefront.hw_id))
+
+        if not blocking:
+            return SyscallHandle(slot, request)
+
+        if wait is WaitMode.POLL:
+            while True:
+                yield Atomic("atomic-load", slot.addr)
+                state = yield Do(lambda: slot.state)
+                if state is SlotState.FINISHED:
+                    break
+                yield Sleep(cfg.poll_interval_ns)
+        else:
+            completion = yield Do(lambda: slot.completion)
+            yield WaitAll([completion])
+
+        # Consume the result and free the slot (FINISHED -> FREE).
+        yield Atomic("swap", slot.addr)
+        result = yield Do(slot.consume)
+        return result
+
+    # -- POSIX-named conveniences ------------------------------------------------
+
+    def open(self, path: str, flags: int = 0, **opts) -> Generator:
+        result = yield from self.invoke("open", path, flags, **opts)
+        return result
+
+    def close(self, fd: int, **opts) -> Generator:
+        result = yield from self.invoke("close", fd, **opts)
+        return result
+
+    def read(self, fd: int, buf: Buffer, count: int, **opts) -> Generator:
+        result = yield from self.invoke("read", fd, buf, count, **opts)
+        return result
+
+    def write(self, fd: int, buf: Buffer, count: int, **opts) -> Generator:
+        result = yield from self.invoke("write", fd, buf, count, **opts)
+        return result
+
+    def pread(self, fd: int, buf: Buffer, count: int, offset: int, **opts) -> Generator:
+        result = yield from self.invoke("pread", fd, buf, count, offset, **opts)
+        return result
+
+    def pwrite(self, fd: int, buf: Buffer, count: int, offset: int, **opts) -> Generator:
+        result = yield from self.invoke("pwrite", fd, buf, count, offset, **opts)
+        return result
+
+    def lseek(self, fd: int, offset: int, whence: int, **opts) -> Generator:
+        result = yield from self.invoke("lseek", fd, offset, whence, **opts)
+        return result
+
+    def socket(self, host: str = "localhost", **opts) -> Generator:
+        result = yield from self.invoke("socket", host, **opts)
+        return result
+
+    def bind(self, fd: int, port: int, **opts) -> Generator:
+        result = yield from self.invoke("bind", fd, port, **opts)
+        return result
+
+    def sendto(self, fd: int, buf: Buffer, count: int, dest: Tuple[str, int], **opts) -> Generator:
+        result = yield from self.invoke("sendto", fd, buf, count, dest, **opts)
+        return result
+
+    def recvfrom(self, fd: int, buf: Buffer, count: int, **opts) -> Generator:
+        result = yield from self.invoke("recvfrom", fd, buf, count, **opts)
+        return result
+
+    def mmap(self, length: int, fd: Optional[int] = None, offset: int = 0, **opts) -> Generator:
+        result = yield from self.invoke("mmap", length, fd, offset, **opts)
+        return result
+
+    def munmap(self, addr: int, length: int, **opts) -> Generator:
+        result = yield from self.invoke("munmap", addr, length, **opts)
+        return result
+
+    def madvise(self, addr: int, length: int, advice: int, **opts) -> Generator:
+        result = yield from self.invoke("madvise", addr, length, advice, **opts)
+        return result
+
+    def getrusage(self, **opts) -> Generator:
+        result = yield from self.invoke("getrusage", **opts)
+        return result
+
+    def rt_sigqueueinfo(self, pid: int, signo: int, value: int, **opts) -> Generator:
+        result = yield from self.invoke("rt_sigqueueinfo", pid, signo, value, **opts)
+        return result
+
+    def ioctl(self, fd: int, cmd: int, arg=None, **opts) -> Generator:
+        result = yield from self.invoke("ioctl", fd, cmd, arg, **opts)
+        return result

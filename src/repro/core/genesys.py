@@ -1,0 +1,202 @@
+"""The GENESYS runtime: GPU system-call request/response machinery.
+
+Implements the five steps of the paper's Figure 2:
+
+1. the GPU work-item places call arguments in its syscall-area slot,
+2. it interrupts the CPU with its wavefront's hardware ID (s_sendmsg),
+3. the interrupt handler (after optional coalescing) enqueues a
+   workqueue task; an OS worker thread scans the wavefront's slots and
+   flips READY requests to PROCESSING,
+4. the worker executes each call against the Linux substrate in the
+   invoking process's context and writes results back to the slot,
+5. the slot flips to FINISHED (blocking) or FREE (non-blocking) and the
+   waiting work-item is woken — by its poll loop observing the state or
+   by a halt-resume message.
+
+Construct one :class:`Genesys` per simulated machine; it installs the
+device API onto every work-item the GPU starts.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, List, Optional
+
+from repro.core.coalescing import CoalescingConfig, Coalescer
+from repro.core.invocation import Granularity, SyscallRequest
+from repro.core.syscall_area import Slot, SlotState, SyscallArea
+from repro.gpu.device import Gpu
+from repro.gpu.hierarchy import WorkItemCtx
+from repro.gpu.wavefront import Wavefront
+from repro.machine import MachineConfig
+from repro.memory.system import MemorySystem
+from repro.oskernel.linux import LinuxKernel
+from repro.oskernel.process import OsProcess
+from repro.sim.engine import Simulator
+
+
+class GenesysError(RuntimeError):
+    """Misuse of the GENESYS interface."""
+
+
+class OrderingError(GenesysError):
+    """Strong ordering requested where it can deadlock the GPU.
+
+    Kernels can hold more work-items than can be co-resident and GPU
+    runtimes do not preempt, so strong ordering at kernel granularity
+    risks deadlock (Section V-A); GENESYS rejects it outright.
+    """
+
+
+class Genesys:
+    def __init__(
+        self,
+        sim: Simulator,
+        config: MachineConfig,
+        linux: LinuxKernel,
+        gpu: Gpu,
+        memsystem: MemorySystem,
+        host_process: OsProcess,
+        coalescing: Optional[CoalescingConfig] = None,
+        slot_stride_bytes: int = 64,
+    ):
+        self.sim = sim
+        self.config = config
+        self.linux = linux
+        self.gpu = gpu
+        self.memsystem = memsystem
+        self.host_process = host_process
+        self.area = SyscallArea(sim, config, memsystem, slot_stride_bytes)
+        self.coalescing = coalescing or CoalescingConfig()
+        self.coalescer = Coalescer(sim, self.coalescing, flush_fn=self._enqueue_scan)
+        self._scan_suppressed: set = set()
+        self.outstanding = 0
+        self.invocation_counts: Dict[Granularity, int] = {g: 0 for g in Granularity}
+        self.interrupts_sent = 0
+        self.syscalls_completed = 0
+        #: (name, hw_wavefront_id, start_ns, end_ns) per serviced call —
+        #: consumed by repro.traceviz for timeline export.
+        self.completion_log: List[tuple] = []
+        gpu.workitem_binder = self._bind_workitem
+        linux.interrupts.register_handler(self._bottom_half)
+        self._register_sysfs()
+
+    def _register_sysfs(self) -> None:
+        """Expose the coalescing knobs through sysfs (Section VI:
+        "GENESYS uses Linux's sysfs interface to communicate coalescing
+        parameters") — readable and writable as ordinary files."""
+        fs = self.linux.fs
+        if not fs.exists("/sys/genesys"):
+            fs.mkdir("/sys/genesys")
+        coalescing = self.coalescing
+
+        def set_window(raw: bytes) -> None:
+            coalescing.window_ns = float(raw.strip())
+
+        def set_batch(raw: bytes) -> None:
+            coalescing.max_batch = max(1, int(raw.strip()))
+
+        fs.add_dynamic_file(
+            "/sys/genesys/coalescing_window_ns",
+            lambda: b"%d\n" % int(coalescing.window_ns),
+            write_fn=set_window,
+        )
+        fs.add_dynamic_file(
+            "/sys/genesys/coalescing_max_batch",
+            lambda: b"%d\n" % coalescing.max_batch,
+            write_fn=set_batch,
+        )
+
+    # -- GPU-side hooks -----------------------------------------------------
+
+    def _bind_workitem(self, ctx: WorkItemCtx, wavefront: Wavefront) -> None:
+        from repro.core.device_api import DeviceApi
+
+        ctx.sys = DeviceApi(self, ctx, wavefront)
+
+    def note_issued(self, granularity: Granularity) -> None:
+        self.outstanding += 1
+        self.invocation_counts[granularity] += 1
+
+    def raise_interrupt(self, hw_wavefront_id: int) -> None:
+        """Step 2: GPU interrupts the CPU (called at GPU time via a Do op).
+
+        One scan task per wavefront is enough to service every READY slot
+        of that wavefront, so interrupts are suppressed while a scan for
+        the same hardware ID is already queued.
+        """
+        if hw_wavefront_id in self._scan_suppressed:
+            return
+        self._scan_suppressed.add(hw_wavefront_id)
+        self.interrupts_sent += 1
+        self.linux.interrupts.raise_irq(hw_wavefront_id)
+
+    # -- CPU-side path ------------------------------------------------------
+
+    def _bottom_half(self, hw_wavefront_id: int) -> None:
+        """Step 3a: the timed interrupt handler hands off to the coalescer."""
+        self.coalescer.add(hw_wavefront_id)
+
+    def _enqueue_scan(self, hw_ids: List[int]) -> None:
+        """Step 3b: a coalesced bundle becomes one workqueue task."""
+        self.linux.workqueue.submit(lambda: self._scan_task(list(hw_ids)))
+
+    def _scan_task(self, hw_ids: List[int]) -> Generator:
+        """Steps 3c-5: worker thread scans slots and services the calls.
+
+        All calls in the bundle run sequentially on this one worker —
+        the implicit serialisation cost of coalescing.
+        """
+        cpu = self.linux.cpu
+        # Adopt the context of the process that launched the kernel
+        # (Section VI: syscalls execute outside the invoking context).
+        yield from cpu.run(self.config.context_switch_ns)
+        for hw_id in hw_ids:
+            self._scan_suppressed.discard(hw_id)
+            for slot in self.area.slots_of(hw_id):
+                if slot.state is not SlotState.READY:
+                    continue
+                request = slot.start_processing()
+                started_at = self.sim.now
+                yield from cpu.run(self.config.syscall_base_ns)
+                result = yield from self.linux.execute(
+                    request.proc, request.name, request.args
+                )
+                # Write the result back through the shared memory path.
+                yield from self.memsystem.dram.cpu_access(self.config.cacheline_bytes)
+                if self.area.shares_cacheline(slot):
+                    # Packed layout ablation: the CPU's write ping-pongs the
+                    # line away from the GPU L2, so every neighbouring
+                    # poller misses to DRAM (the false-sharing cost the
+                    # one-slot-per-line design avoids).
+                    self.memsystem.l2.invalidate(
+                        slot.addr // self.config.cacheline_bytes
+                    )
+                slot.finish(result)
+                self.outstanding -= 1
+                self.syscalls_completed += 1
+                self.completion_log.append(
+                    (request.name, hw_id, started_at, self.sim.now)
+                )
+
+    # -- host-side services --------------------------------------------------
+
+    def drain(self) -> Generator:
+        """Process body: wait until all issued GPU syscalls completed.
+
+        The paper's Section IX: a host-side call that must run before
+        process termination because non-blocking GPU syscalls can outlive
+        the GPU thread (and even the kernel) that issued them.
+        """
+        while self.outstanding > 0 or self.linux.workqueue.outstanding > 0:
+            yield 1000.0
+
+    def stats(self) -> dict:
+        return {
+            "interrupts_sent": self.interrupts_sent,
+            "syscalls_completed": self.syscalls_completed,
+            "outstanding": self.outstanding,
+            "bundles": self.coalescer.bundles_flushed,
+            "mean_bundle_size": self.coalescer.mean_bundle_size,
+            "invocations": {g.value: n for g, n in self.invocation_counts.items()},
+            "syscall_counts": dict(self.linux.syscall_counts),
+        }

@@ -1,0 +1,195 @@
+"""The syscall area: per-work-item slots in shared memory.
+
+Paper Section VI / Figures 5-6: a preallocated region of CPU-visible
+memory holds one 64-byte slot per *active* work-item, indexed by the
+hardware wavefront ID and lane.  Each slot walks the state machine
+
+    FREE -> POPULATING -> READY -> PROCESSING -> FINISHED -> FREE
+                                          \\-> FREE  (non-blocking)
+
+with GPU-side transitions done via atomics (claim with cmp-swap, state
+changes with swap) and CPU-side transitions from the worker thread.
+Restricting one slot per cacheline lets atomics sidestep the
+non-coherent L1s; :class:`SyscallArea` also supports a packed layout so
+the false-sharing ablation can quantify why the paper did not do that.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Generator, List, Optional
+
+from repro.core.invocation import SyscallRequest
+from repro.machine import MachineConfig
+from repro.memory.system import MemorySystem
+from repro.sim.engine import Event, Simulator
+
+SLOT_BYTES = 64
+
+
+class SlotState(Enum):
+    FREE = "free"
+    POPULATING = "populating"
+    READY = "ready"
+    PROCESSING = "processing"
+    FINISHED = "finished"
+
+
+#: Legal transitions and which side drives them (Figure 6: green = GPU,
+#: blue = CPU).
+_TRANSITIONS = {
+    (SlotState.FREE, SlotState.POPULATING): "gpu",
+    (SlotState.POPULATING, SlotState.READY): "gpu",
+    (SlotState.READY, SlotState.PROCESSING): "cpu",
+    (SlotState.PROCESSING, SlotState.FINISHED): "cpu",
+    (SlotState.PROCESSING, SlotState.FREE): "cpu",  # non-blocking completion
+    (SlotState.FINISHED, SlotState.FREE): "gpu",  # result consumed
+}
+
+
+class SlotStateError(RuntimeError):
+    """An illegal slot state transition was attempted."""
+
+
+class Slot:
+    """One 64-byte syscall slot."""
+
+    __slots__ = (
+        "index", "addr", "state", "request", "result", "completion", "sim",
+        "on_transition",
+    )
+
+    def __init__(self, sim: Simulator, index: int, addr: int):
+        self.sim = sim
+        self.index = index
+        self.addr = addr
+        self.state = SlotState.FREE
+        self.request: Optional[SyscallRequest] = None
+        self.result = None
+        self.completion: Optional[Event] = None
+        #: Optional callback(time_ns, slot, old_state, new_state, actor)
+        #: for tracing the Figure-6 walk.
+        self.on_transition = None
+
+    def _transition(self, new_state: SlotState, actor: str) -> None:
+        edge = (self.state, new_state)
+        owner = _TRANSITIONS.get(edge)
+        if owner is None:
+            raise SlotStateError(
+                f"slot {self.index}: illegal transition {self.state.value} -> "
+                f"{new_state.value}"
+            )
+        if owner != actor:
+            raise SlotStateError(
+                f"slot {self.index}: transition {self.state.value} -> "
+                f"{new_state.value} belongs to the {owner.upper()}, not {actor.upper()}"
+            )
+        old_state = self.state
+        self.state = new_state
+        if self.on_transition is not None:
+            self.on_transition(self.sim.now, self, old_state, new_state, actor)
+
+    # -- GPU side --------------------------------------------------------
+
+    def try_claim(self) -> bool:
+        """The cmp-swap claim: FREE -> POPULATING, or False if busy."""
+        if self.state is not SlotState.FREE:
+            return False
+        self._transition(SlotState.POPULATING, "gpu")
+        return True
+
+    def populate(self, request: SyscallRequest) -> None:
+        if self.state is not SlotState.POPULATING:
+            raise SlotStateError(f"slot {self.index}: populate while {self.state.value}")
+        self.request = request
+        self.result = None
+        self.completion = self.sim.event(name=f"slot{self.index}-done")
+
+    def set_ready(self) -> None:
+        if self.request is None:
+            raise SlotStateError(f"slot {self.index}: READY without a request")
+        self._transition(SlotState.READY, "gpu")
+
+    def consume(self):
+        """GPU reads the result of a blocking call: FINISHED -> FREE."""
+        result = self.result
+        self._transition(SlotState.FREE, "gpu")
+        self.request = None
+        return result
+
+    # -- CPU side --------------------------------------------------------
+
+    def start_processing(self) -> SyscallRequest:
+        self._transition(SlotState.PROCESSING, "cpu")
+        assert self.request is not None
+        return self.request
+
+    def finish(self, result) -> None:
+        """CPU completes the call: FINISHED (blocking) or FREE."""
+        if self.request is None:
+            raise SlotStateError(f"slot {self.index}: finish without a request")
+        blocking = self.request.blocking
+        self.result = result
+        completion = self.completion
+        if blocking:
+            self._transition(SlotState.FINISHED, "cpu")
+        else:
+            self._transition(SlotState.FREE, "cpu")
+            self.request = None
+        if completion is not None and not completion.triggered:
+            completion.succeed(result)
+
+    def __repr__(self) -> str:
+        return f"Slot({self.index}, {self.state.value}, 0x{self.addr:x})"
+
+
+class SyscallArea:
+    """All slots, indexed by (hardware wavefront ID, lane).
+
+    ``slot_stride_bytes`` defaults to one slot per cacheline (the
+    paper's design); smaller strides pack multiple slots per line for
+    the false-sharing ablation.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config: MachineConfig,
+        memsystem: MemorySystem,
+        slot_stride_bytes: int = SLOT_BYTES,
+    ):
+        if slot_stride_bytes < 1 or SLOT_BYTES % slot_stride_bytes:
+            raise ValueError(f"stride {slot_stride_bytes} must divide {SLOT_BYTES}")
+        self.sim = sim
+        self.config = config
+        self.stride = slot_stride_bytes
+        self.num_wavefronts = config.max_active_wavefronts
+        self.width = config.wavefront_width
+        self.num_slots = self.num_wavefronts * self.width
+        self.base_addr = memsystem.alloc(
+            self.num_slots * self.stride, align=config.cacheline_bytes
+        )
+        self.slots: List[Slot] = [
+            Slot(sim, i, self.base_addr + i * self.stride) for i in range(self.num_slots)
+        ]
+
+    @property
+    def total_bytes(self) -> int:
+        """Reserved footprint (the paper reports 1.25 MB for its GPU)."""
+        return self.num_slots * SLOT_BYTES
+
+    def slot_for(self, hw_wavefront_id: int, lane: int) -> Slot:
+        if not 0 <= hw_wavefront_id < self.num_wavefronts:
+            raise IndexError(f"hardware wavefront id {hw_wavefront_id} out of range")
+        if not 0 <= lane < self.width:
+            raise IndexError(f"lane {lane} out of range")
+        return self.slots[hw_wavefront_id * self.width + lane]
+
+    def slots_of(self, hw_wavefront_id: int) -> List[Slot]:
+        """The 64 (wavefront-width) slots one CPU scan task examines."""
+        start = hw_wavefront_id * self.width
+        return self.slots[start : start + self.width]
+
+    def shares_cacheline(self, slot: Slot) -> bool:
+        """Whether this slot's line holds other slots (packed layout)."""
+        return self.stride < self.config.cacheline_bytes

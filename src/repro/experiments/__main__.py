@@ -1,0 +1,50 @@
+"""Command-line experiment runner.
+
+Usage::
+
+    python -m repro.experiments              # list experiments
+    python -m repro.experiments fig8 fig9    # run and print those
+    python -m repro.experiments --all        # run everything
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import all_names, load, run
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument("names", nargs="*", help="experiment names (see --list)")
+    parser.add_argument("--all", action="store_true", help="run every experiment")
+    parser.add_argument("--list", action="store_true", help="list experiment names")
+    args = parser.parse_args(argv)
+
+    if args.list or (not args.names and not args.all):
+        print("available experiments:")
+        for name in all_names():
+            module = load(name)
+            print(f"  {name:<18} {getattr(module, 'TITLE', '')}")
+        return 0
+
+    names = all_names() if args.all else args.names
+    for name in names:
+        start = time.time()
+        try:
+            result = run(name)
+        except KeyError as err:
+            print(err, file=sys.stderr)
+            return 2
+        print(result.render())
+        print(f"[{name}: {time.time() - start:.1f}s wall]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,52 @@
+"""Figure 11: miniAMR memory footprint under GPU-directed madvise."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.experiments import ExperimentResult
+from repro.machine import MachineConfig
+from repro.system import System
+from repro.workloads.base import WorkloadResult
+from repro.workloads.miniamr import MiniAmrWorkload
+
+NAME = "fig11"
+TITLE = "Figure 11: miniAMR with GPU-directed memory management"
+
+PHYS_MEM = int(2.5 * 1024 * 1024)
+WM_HIGH = int(2.2 * 1024 * 1024)  # the paper's "rss-4gb" analogue
+WM_LOW = int(1.6 * 1024 * 1024)   # the paper's "rss-3gb" analogue
+
+
+def fresh_workload() -> MiniAmrWorkload:
+    config = MachineConfig(phys_mem_bytes=PHYS_MEM, gpu_timeout_faults=48)
+    return MiniAmrWorkload(System(config=config))
+
+
+def run_variants() -> Dict[str, WorkloadResult]:
+    return {
+        "baseline": fresh_workload().run(use_madvise=False),
+        "rss-high": fresh_workload().run(rss_watermark_bytes=WM_HIGH),
+        "rss-low": fresh_workload().run(rss_watermark_bytes=WM_LOW),
+    }
+
+
+def run() -> ExperimentResult:
+    results = run_variants()
+    experiment = ExperimentResult(NAME)
+    experiment.add_table(
+        TITLE,
+        ["variant", "outcome", "runtime (ms)", "peak RSS (KiB)", "major faults"],
+        [
+            (
+                name,
+                "completed" if res.metrics["completed"] else "KILLED (watchdog)",
+                f"{res.runtime_ms:.2f}",
+                res.metrics["peak_rss_bytes"] // 1024,
+                res.metrics["major_faults"],
+            )
+            for name, res in results.items()
+        ],
+    )
+    experiment.data = {"results": results, "phys_mem": PHYS_MEM}
+    return experiment

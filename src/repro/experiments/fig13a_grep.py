@@ -1,0 +1,57 @@
+"""Figure 13a: grep -F -l across CPU and GENESYS variants."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.core.invocation import Granularity, WaitMode
+from repro.experiments import ExperimentResult
+from repro.machine import MachineConfig
+from repro.system import System
+from repro.workloads.base import WorkloadResult
+from repro.workloads.grepwl import GrepWorkload
+
+NAME = "fig13a"
+TITLE = "Figure 13a: grep -F -l runtime"
+
+PARAMS = dict(num_files=64, file_bytes=262144, chunk_bytes=131072)
+
+
+def grep_workload(**overrides) -> GrepWorkload:
+    """The GPU L2 is scaled with the corpus (see EXPERIMENTS.md)."""
+    params = dict(PARAMS)
+    params.update(overrides)
+    system = System(config=MachineConfig(gpu_l2_lines=256))
+    return GrepWorkload(system, **params)
+
+
+def run_variants(**overrides) -> Dict[str, WorkloadResult]:
+    return {
+        "cpu": grep_workload(**overrides).run_cpu(threads=1),
+        "openmp": grep_workload(**overrides).run_cpu(threads=4),
+        "wg": grep_workload(**overrides).run_genesys(
+            Granularity.WORK_GROUP, WaitMode.POLL
+        ),
+        "wi-poll": grep_workload(**overrides).run_genesys(
+            Granularity.WORK_ITEM, WaitMode.POLL
+        ),
+        "wi-halt": grep_workload(**overrides).run_genesys(
+            Granularity.WORK_ITEM, WaitMode.HALT_RESUME
+        ),
+    }
+
+
+def run() -> ExperimentResult:
+    results = run_variants()
+    base = results["cpu"].runtime_ns
+    experiment = ExperimentResult(NAME)
+    experiment.add_table(
+        TITLE,
+        ["variant", "runtime (ms)", "speedup vs cpu"],
+        [
+            (name, f"{res.runtime_ms:.2f}", f"{base / res.runtime_ns:.2f}x")
+            for name, res in results.items()
+        ],
+    )
+    experiment.data = results
+    return experiment

@@ -1,0 +1,73 @@
+"""Figure 9: polling-induced CPU/GPU memory contention."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.experiments import ExperimentResult
+from repro.machine import CACHELINE_BYTES, MachineConfig
+from repro.memory.system import MemorySystem
+from repro.sim.engine import Simulator
+
+NAME = "fig9"
+TITLE = "Figure 9: polling and memory contention"
+
+POLLED_LINES = (256, 1024, 4096, 8192, 16384)
+MEASURE_NS = 1_000_000.0
+NUM_POLLERS = 64
+
+
+def cpu_throughput_while_polling(num_lines: int) -> float:
+    """CPU accesses/us achieved while the GPU polls ``num_lines`` lines."""
+    sim = Simulator()
+    config = MachineConfig()
+    mem = MemorySystem(sim, config)
+    base = mem.alloc(num_lines * CACHELINE_BYTES)
+    stop = {"flag": False}
+    counted = {"cpu": 0}
+    per_poller = max(1, num_lines // NUM_POLLERS)
+
+    def gpu_poller(poller_id: int):
+        first = poller_id * per_poller
+        while not stop["flag"]:
+            for i in range(first, min(first + per_poller, num_lines)):
+                if stop["flag"]:
+                    return
+                yield from mem.gpu_atomic("atomic-load", base + i * CACHELINE_BYTES)
+            yield config.poll_interval_ns
+
+    def cpu_worker():
+        while not stop["flag"]:
+            yield from mem.cpu_stream_access(CACHELINE_BYTES)
+            counted["cpu"] += 1
+
+    def timer():
+        yield MEASURE_NS
+        stop["flag"] = True
+
+    for poller_id in range(NUM_POLLERS):
+        sim.process(gpu_poller(poller_id), name=f"poller{poller_id}")
+    sim.process(cpu_worker(), name="cpu")
+    sim.process(timer(), name="timer")
+    sim.run()
+    return counted["cpu"] / (MEASURE_NS / 1000.0)
+
+
+def run_sweep() -> Dict[int, float]:
+    return {n: cpu_throughput_while_polling(n) for n in POLLED_LINES}
+
+
+def run() -> ExperimentResult:
+    results = run_sweep()
+    l2_lines = MachineConfig().gpu_l2_lines
+    experiment = ExperimentResult(NAME)
+    experiment.add_table(
+        f"Figure 9: CPU access throughput vs polled GPU lines (L2 = {l2_lines})",
+        ["polled lines", "CPU accesses/us", "fits in L2?"],
+        [
+            (n, f"{results[n]:.2f}", "yes" if n <= l2_lines else "no")
+            for n in POLLED_LINES
+        ],
+    )
+    experiment.data = {"throughput": results, "l2_lines": l2_lines}
+    return experiment

@@ -1,0 +1,40 @@
+"""Table II + Section IV: the syscall classification headline numbers."""
+
+from __future__ import annotations
+
+from repro.core.classification import summary, table2_rows
+from repro.experiments import ExperimentResult
+
+NAME = "table2"
+TITLE = "Section IV: classification of Linux system calls"
+
+
+def run() -> ExperimentResult:
+    info = summary()
+    experiment = ExperimentResult(NAME)
+    experiment.add_table(
+        TITLE,
+        ["category", "count", "share", "paper"],
+        [
+            ("readily implementable", info["ready"], f"{info['ready_pct']:.1f}%", "~79%"),
+            ("needs GPU hw changes", info["hw_changes"], f"{info['hw_changes_pct']:.1f}%", "13%"),
+            ("extensive modification", info["extensive"], f"{info['extensive_pct']:.1f}%", "8%"),
+            ("total classified", info["total"], "100%", "300+"),
+        ],
+    )
+    examples = {}
+    for row in table2_rows():
+        examples.setdefault(row["reason"], []).append(row["example"])
+    experiment.add_table(
+        "Table II: examples needing GPU hardware changes",
+        ["reason", "examples"],
+        [
+            (
+                reason[:60],
+                ", ".join(sorted(names)[:6]) + ("..." if len(names) > 6 else ""),
+            )
+            for reason, names in examples.items()
+        ],
+    )
+    experiment.data = info
+    return experiment

@@ -1,0 +1,44 @@
+"""Compute-unit model: a pool of hardware wavefront slots.
+
+A work-group's wavefronts must all reside on one CU (they share local
+memory and a barrier domain), so the dispatcher allocates a contiguous
+batch of slots from a single CU.  Slot IDs are the stable *hardware IDs*
+the syscall area is indexed by (Section VI): at any instant at most one
+active wavefront holds a given (cu, slot) pair.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+
+class ComputeUnit:
+    def __init__(self, cu_id: int, num_slots: int):
+        if num_slots < 1:
+            raise ValueError("CU needs at least one wavefront slot")
+        self.cu_id = cu_id
+        self.num_slots = num_slots
+        self._free: List[int] = list(range(num_slots))
+
+    @property
+    def free_slots(self) -> int:
+        return len(self._free)
+
+    def alloc_slots(self, count: int) -> Optional[List[int]]:
+        """Take ``count`` slots, or None if not enough are free."""
+        if count < 1:
+            raise ValueError("must allocate at least one slot")
+        if count > len(self._free):
+            return None
+        taken, self._free = self._free[:count], self._free[count:]
+        return taken
+
+    def release_slot(self, slot_id: int) -> None:
+        if not 0 <= slot_id < self.num_slots:
+            raise ValueError(f"slot {slot_id} out of range")
+        if slot_id in self._free:
+            raise RuntimeError(f"double release of slot {slot_id} on CU {self.cu_id}")
+        self._free.append(slot_id)
+
+    def __repr__(self) -> str:
+        return f"ComputeUnit({self.cu_id}, free={self.free_slots}/{self.num_slots})"

@@ -1,0 +1,241 @@
+"""The wavefront executor: lockstep interpretation of work-item ops.
+
+Each wavefront is one simulation process driving up to
+``wavefront_width`` work-item generators.  Per step, every runnable lane
+yields one op; the executor charges a combined cost (max for compute,
+serialised unique-line traffic for memory, serialised atomics) so SIMD
+lockstep and coalescing behaviour are reflected in timing.  Lanes block
+individually on barriers and halt-waits; the wavefront as a whole only
+sleeps when no lane can make progress — so a single blocked work-item
+stalls its wavefront, the paper's motivation for non-blocking syscalls.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, List, Optional, Sequence, TYPE_CHECKING
+
+from repro.gpu.hierarchy import WorkGroup, WorkItemCtx
+from repro.gpu.ops import (
+    Atomic,
+    Barrier,
+    Compute,
+    Do,
+    L1Flush,
+    LdsRead,
+    LdsWrite,
+    MemRead,
+    MemWrite,
+    Op,
+    Sleep,
+    WaitAll,
+)
+from repro.sim.engine import Event, Simulator
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.gpu.device import Gpu
+
+
+def all_events(sim: Simulator, events: Sequence[Event]) -> Event:
+    """Combine events into one that fires when all have fired."""
+    pending = [e for e in events if not e.triggered]
+    combined = sim.event(name="all-events")
+    if not pending:
+        combined.succeed()
+        return combined
+    state = {"remaining": len(pending)}
+
+    def watch(event: Event) -> Generator:
+        yield event
+        state["remaining"] -= 1
+        if state["remaining"] == 0:
+            combined.succeed()
+
+    for event in pending:
+        sim.process(watch(event), name="all-events-watch")
+    return combined
+
+
+class _Lane:
+    """One work-item being driven by the wavefront executor."""
+
+    __slots__ = ("ctx", "gen", "inbox", "blocked_on", "needs_resume", "finished")
+
+    def __init__(self, ctx: WorkItemCtx, gen: Generator):
+        self.ctx = ctx
+        self.gen = gen
+        self.inbox: Any = None
+        self.blocked_on: Optional[Event] = None
+        self.needs_resume = False
+        self.finished = False
+
+
+class Wavefront:
+    """A hardware-scheduled lockstep group of work-items."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        gpu: "Gpu",
+        group: WorkGroup,
+        ctxs: List[WorkItemCtx],
+        cu_id: int,
+        slot_id: int,
+    ):
+        if not ctxs:
+            raise ValueError("wavefront needs at least one work-item")
+        self.sim = sim
+        self.gpu = gpu
+        self.group = group
+        self.cu_id = cu_id
+        self.slot_id = slot_id
+        self.hw_id = cu_id * gpu.config.wavefront_slots_per_cu + slot_id
+        self.lanes = [_Lane(ctx, gpu.start_work_item(ctx, self)) for ctx in ctxs]
+        #: Lockstep-efficiency accounting: total steps executed and the
+        #: number of lane-ops issued (full-width steps issue width ops).
+        self.steps = 0
+        self.lane_ops = 0
+        self.divergent_steps = 0
+
+    @property
+    def simd_efficiency(self) -> float:
+        """Mean fraction of lanes active per step (1.0 = no divergence)."""
+        if self.steps == 0:
+            return 1.0
+        return self.lane_ops / (self.steps * self.width)
+
+    @property
+    def width(self) -> int:
+        return len(self.lanes)
+
+    def run(self) -> Generator:
+        """Process body: drive all lanes to completion."""
+        cfg = self.gpu.config
+        mem = self.gpu.memsystem
+        try:
+            while True:
+                live = [lane for lane in self.lanes if not lane.finished]
+                if not live:
+                    return
+                runnable = [lane for lane in live if lane.blocked_on is None]
+                if not runnable:
+                    yield from self._wait_for_wake(live)
+                    continue
+
+                self.steps += 1
+                self.lane_ops += len(runnable)
+                if len(runnable) < len(live):
+                    self.divergent_steps += 1
+                compute_ns = 0.0
+                mem_ops: List[Op] = []
+                atomic_ops: List[Atomic] = []
+                flush_ops: List[L1Flush] = []
+                lds_ops: List[Op] = []
+                for lane in runnable:
+                    op = self._step_lane(lane)
+                    if op is None:
+                        continue
+                    if isinstance(op, Compute):
+                        compute_ns = max(compute_ns, op.cycles * cfg.gpu_cycle_ns)
+                    elif isinstance(op, Sleep):
+                        compute_ns = max(compute_ns, op.duration)
+                    elif isinstance(op, (MemRead, MemWrite)):
+                        mem_ops.append(op)
+                    elif isinstance(op, (LdsRead, LdsWrite)):
+                        lds_ops.append(op)
+                    elif isinstance(op, Atomic):
+                        atomic_ops.append(op)
+                    elif isinstance(op, L1Flush):
+                        flush_ops.append(op)
+                    elif isinstance(op, Do):
+                        lane.inbox = op.action()
+                    elif isinstance(op, Barrier):
+                        lane.blocked_on = self.group.arrive_barrier()
+                    elif isinstance(op, WaitAll):
+                        lane.blocked_on = all_events(self.sim, op.events)
+                        lane.needs_resume = True
+                    else:
+                        raise TypeError(f"work-item yielded non-op {op!r}")
+
+                if compute_ns:
+                    yield compute_ns
+                if lds_ops:
+                    yield self._lds_time(lds_ops)
+                for op in mem_ops:
+                    if isinstance(op, MemRead):
+                        yield from mem.gpu_load(self.cu_id, op.addr, op.size)
+                    else:
+                        yield from mem.gpu_store(self.cu_id, op.addr, op.size)
+                for aop in atomic_ops:
+                    yield from mem.gpu_atomic(aop.kind, aop.addr)
+                for fop in flush_ops:
+                    yield from mem.gpu_l1_flush_range(self.cu_id, fop.addr, fop.size)
+        finally:
+            self.gpu.wavefront_finished(self)
+
+    # -- internals ---------------------------------------------------------
+
+    def _lds_time(self, lds_ops: List[Op]) -> float:
+        """LDS access time for one lockstep step: the max per-bank
+        serialisation degree.  Reads of one identical address broadcast
+        (degree 1, as on GCN); any other same-bank collisions serialise.
+        """
+        cfg = self.gpu.config
+        bank_words = {}
+        for op in lds_ops:
+            first_word = op.addr // cfg.lds_bank_bytes
+            last_word = (op.addr + max(op.size, 1) - 1) // cfg.lds_bank_bytes
+            for word in range(first_word, last_word + 1):
+                bank = word % cfg.lds_banks
+                is_read = isinstance(op, LdsRead)
+                bank_words.setdefault(bank, []).append((word, is_read))
+        degree = 1
+        for accesses in bank_words.values():
+            reads = {}
+            writes = 0
+            for word, is_read in accesses:
+                if is_read:
+                    reads[word] = reads.get(word, 0) + 1
+                else:
+                    writes += 1
+            # Distinct read words conflict; identical reads broadcast.
+            bank_degree = len(reads) + writes
+            degree = max(degree, bank_degree)
+        return degree * cfg.lds_access_ns
+
+    def _step_lane(self, lane: _Lane) -> Optional[Op]:
+        try:
+            op = lane.gen.send(lane.inbox)
+        except StopIteration:
+            lane.finished = True
+            lane.inbox = None
+            self.group.work_item_finished()
+            return None
+        lane.inbox = None
+        return op
+
+    def _wait_for_wake(self, live: List[_Lane]) -> Generator:
+        """All lanes blocked: sleep until at least one can progress."""
+        distinct = {}
+        for lane in live:
+            distinct[id(lane.blocked_on)] = lane.blocked_on
+        events = list(distinct.values())
+        if len(events) == 1:
+            yield events[0]
+        else:
+            # Wake on the first of them; re-check the rest next iteration.
+            from repro.sim.engine import AnyOf
+
+            yield AnyOf(events)
+        resume = False
+        for lane in live:
+            if lane.blocked_on is not None and lane.blocked_on.triggered:
+                if lane.needs_resume:
+                    resume = True
+                lane.blocked_on = None
+                lane.needs_resume = False
+        if resume:
+            # One scalar wake message re-schedules the wavefront.
+            yield self.gpu.config.halt_resume_ns
+
+    def __repr__(self) -> str:
+        return f"Wavefront(hw={self.hw_id}, wg={self.group.group_id}, lanes={self.width})"

@@ -1,0 +1,20 @@
+"""Memory-hierarchy models: caches, DRAM, and the atomics cost table.
+
+The GENESYS design leans on three memory-system properties of the paper's
+platform (Section VI):
+
+* the GPU L2 is coherent with the CPU while per-CU L1s are not, so the
+  syscall area is accessed with atomics that force L2 lookups;
+* atomic operations cost measurably more than plain loads (Table IV);
+* polled syscall-slot cachelines that exceed the L2 capacity spill to
+  DRAM and contend with CPU traffic on the shared controller (Figure 9).
+
+This package models exactly those properties.
+"""
+
+from repro.memory.atomics import AtomicCostModel
+from repro.memory.cache import Cache, CacheStats
+from repro.memory.dram import Dram
+from repro.memory.system import MemorySystem
+
+__all__ = ["AtomicCostModel", "Cache", "CacheStats", "Dram", "MemorySystem"]

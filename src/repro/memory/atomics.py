@@ -1,0 +1,56 @@
+"""Atomic-operation cost model (paper Table IV).
+
+Section VI: the syscall area is restricted to one slot per cacheline so
+that GPU atomics — which force L2 lookups and guarantee whole-line
+visibility — can sidestep the non-coherent L1s.  Table IV profiles the
+operations GENESYS uses: ``cmp-swap`` to claim a slot, ``swap`` to change
+its state, ``atomic-load`` to poll for completion, and a plain ``load``
+as the baseline.
+
+The model keeps the measured ordering (cmp-swap > swap > atomic-load >
+load) and exposes each latency as a knob on
+:class:`~repro.machine.MachineConfig`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.machine import MachineConfig
+
+ATOMIC_OPS = ("cmp-swap", "swap", "atomic-load", "load")
+
+
+class AtomicCostModel:
+    """Latency lookup for the four profiled memory operations."""
+
+    def __init__(self, config: MachineConfig):
+        self._latency: Dict[str, float] = dict(config.atomic_latency_ns)
+        missing = [op for op in ATOMIC_OPS if op not in self._latency]
+        if missing:
+            raise ValueError(f"missing atomic latencies: {missing}")
+        self.counts: Dict[str, int] = {op: 0 for op in self._latency}
+
+    def latency(self, op: str) -> float:
+        """Latency of one operation in nanoseconds."""
+        try:
+            return self._latency[op]
+        except KeyError:
+            raise KeyError(
+                f"unknown atomic op {op!r}; expected one of {sorted(self._latency)}"
+            ) from None
+
+    def charge(self, op: str) -> float:
+        """Record one use of ``op`` and return its latency."""
+        latency = self.latency(op)
+        self.counts[op] += 1
+        return latency
+
+    def table(self) -> Dict[str, float]:
+        """Table IV rows: op -> latency (ns)."""
+        return {op: self._latency[op] for op in ATOMIC_OPS}
+
+    def ordering_holds(self) -> bool:
+        """Whether the measured cost ordering of Table IV holds."""
+        t = self._latency
+        return t["cmp-swap"] >= t["swap"] >= t["atomic-load"] >= t["load"]

@@ -1,0 +1,57 @@
+"""Shared-virtual-memory buffers.
+
+GENESYS relies on shared virtual addressing (Section III): the GPU
+passes pointers in syscall arguments and the CPU dereferences them
+directly.  A :class:`Buffer` couples a simulated address range (for
+cache/DRAM timing) with a real ``bytearray`` (for functional data), so
+file contents, network payloads, and framebuffer pixels actually move.
+"""
+
+from __future__ import annotations
+
+
+class AddressAllocator:
+    """Monotonic bump allocator for simulated virtual addresses."""
+
+    def __init__(self, base: int = 0x1000_0000, alignment: int = 64):
+        if base <= 0:
+            raise ValueError("base must be positive")
+        self._next = base
+        self._alignment = alignment
+
+    def alloc(self, nbytes: int, align: int = 0) -> int:
+        if nbytes < 0:
+            raise ValueError(f"negative allocation: {nbytes}")
+        align = align or self._alignment
+        self._next = (self._next + align - 1) // align * align
+        addr = self._next
+        self._next += nbytes
+        return addr
+
+
+class Buffer:
+    """A data buffer at a simulated address."""
+
+    __slots__ = ("addr", "data")
+
+    def __init__(self, addr: int, size: int = 0, data: bytearray = None):
+        if data is None:
+            data = bytearray(size)
+        self.addr = addr
+        self.data = data
+
+    @property
+    def size(self) -> int:
+        return len(self.data)
+
+    def slice(self, offset: int, length: int) -> "Buffer":
+        """A view of a sub-range sharing the same storage."""
+        if offset < 0 or offset + length > len(self.data):
+            raise ValueError("slice out of bounds")
+        view = Buffer.__new__(Buffer)
+        view.addr = self.addr + offset
+        view.data = memoryview(self.data)[offset : offset + length]
+        return view
+
+    def __repr__(self) -> str:
+        return f"Buffer(0x{self.addr:x}, {self.size}B)"

@@ -1,0 +1,46 @@
+"""DRAM model: a single shared channel with latency + bandwidth.
+
+The FX-9800P's memory controller is shared between CPU and GPU; the
+paper's Figure 9 shows CPU access throughput collapsing once the GPU's
+polled working set spills out of its L2 and floods this channel.  Both
+agents therefore issue their transfers through one
+:class:`~repro.sim.resources.BandwidthResource`.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.machine import CACHELINE_BYTES, MachineConfig
+from repro.sim.engine import Simulator
+from repro.sim.resources import BandwidthResource
+
+
+class Dram:
+    """Shared CPU/GPU DRAM channel."""
+
+    def __init__(self, sim: Simulator, config: MachineConfig):
+        self.sim = sim
+        self.config = config
+        self.channel = BandwidthResource(
+            sim,
+            rate_bytes_per_ns=config.dram_bw_bytes_per_ns,
+            fixed_latency=config.dram_latency_ns,
+            name="dram",
+        )
+        self.cpu_accesses = 0
+        self.gpu_accesses = 0
+
+    def cpu_access(self, nbytes: int = CACHELINE_BYTES) -> Generator:
+        """Process body: one CPU-originated transfer."""
+        self.cpu_accesses += 1
+        yield from self.channel.transfer(nbytes)
+
+    def gpu_access(self, nbytes: int = CACHELINE_BYTES) -> Generator:
+        """Process body: one GPU-originated transfer."""
+        self.gpu_accesses += 1
+        yield from self.channel.transfer(nbytes)
+
+    @property
+    def bytes_moved(self) -> int:
+        return self.channel.bytes_moved

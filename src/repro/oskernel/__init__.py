@@ -1,0 +1,16 @@
+"""The Linux-like OS substrate GENESYS services system calls against.
+
+Everything a serviced syscall needs exists here functionally *and* with
+a timing model: a tmpfs/disk VFS with page cache, an SSD block device
+with internal parallelism, a virtual-memory manager with madvise and
+swap, UDP sockets, POSIX real-time signal queues, a framebuffer char
+device, kernel workqueues with worker threads, and an interrupt
+controller.  :class:`repro.oskernel.linux.LinuxKernel` ties them
+together behind a syscall dispatch table.
+"""
+
+from repro.oskernel.errors import Errno, OsError
+from repro.oskernel.linux import LinuxKernel
+from repro.oskernel.process import OsProcess
+
+__all__ = ["Errno", "LinuxKernel", "OsError", "OsProcess"]

@@ -1,0 +1,82 @@
+"""Block-device (SSD) model with internal parallelism.
+
+The paper's Figure 14 shows the GPU wordcount extracting ~170 MB/s from
+the SSD where the sequential CPU version managed ~30 MB/s: "the GPU's
+ability to launch more concurrent I/O requests enabled the I/O scheduler
+to make better scheduling decisions."  The model captures that directly:
+the device has ``ssd_channels`` internal channels, each request pays a
+fixed access latency and then streams at a per-channel share of the peak
+bandwidth — so achieved throughput scales with queue depth, saturating
+at the peak.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List, Optional, Tuple
+
+from repro.machine import MachineConfig
+from repro.sim.engine import Simulator
+from repro.sim.resources import Resource
+
+
+class BlockDevice:
+    def __init__(self, sim: Simulator, config: MachineConfig, name: str = "ssd"):
+        self.sim = sim
+        self.config = config
+        self.name = name
+        self.channels = Resource(sim, config.ssd_channels, name=f"{name}-channels")
+        self._channel_rate = config.ssd_bw_bytes_per_ns / config.ssd_channels
+        self.bytes_read = 0
+        self.bytes_written = 0
+        self.requests = 0
+        self._samples: List[Tuple[float, int]] = []
+        #: Peak queue depth observed — evidence for the I/O-scheduler claim.
+        self.max_queue_depth = 0
+        self._inflight = 0
+
+    def _request(self, nbytes: int) -> Generator:
+        if nbytes < 0:
+            raise ValueError(f"negative I/O size: {nbytes}")
+        self._inflight += 1
+        self.max_queue_depth = max(self.max_queue_depth, self._inflight)
+        yield self.channels.acquire()
+        try:
+            yield self.config.ssd_request_latency_ns + nbytes / self._channel_rate
+            self.requests += 1
+            self._samples.append((self.sim.now, nbytes))
+        finally:
+            self.channels.release()
+            self._inflight -= 1
+
+    def read(self, nbytes: int) -> Generator:
+        """Process body: one read request of ``nbytes``."""
+        yield from self._request(nbytes)
+        self.bytes_read += nbytes
+
+    def write(self, nbytes: int) -> Generator:
+        """Process body: one write request of ``nbytes``."""
+        yield from self._request(nbytes)
+        self.bytes_written += nbytes
+
+    def throughput_series(
+        self, bin_ns: float, start: float = 0.0, end: Optional[float] = None
+    ) -> List[Tuple[float, float]]:
+        """Binned achieved throughput in bytes/ns (Figure 14's disk trace)."""
+        if end is None:
+            end = self.sim.now
+        if bin_ns <= 0:
+            raise ValueError("bin_ns must be positive")
+        nbins = max(1, int((end - start) / bin_ns) + 1)
+        totals = [0.0] * nbins
+        for when, nbytes in self._samples:
+            if start <= when <= end:
+                totals[int((when - start) / bin_ns)] += nbytes
+        return [(start + i * bin_ns, totals[i] / bin_ns) for i in range(nbins)]
+
+    def achieved_throughput(self, since: float = 0.0) -> float:
+        """Average achieved bytes/ns since ``since``."""
+        elapsed = self.sim.now - since
+        if elapsed <= 0:
+            return 0.0
+        moved = sum(n for t, n in self._samples if t >= since)
+        return moved / elapsed

@@ -1,0 +1,150 @@
+"""Character devices: terminal and framebuffer.
+
+The framebuffer backs the Section VIII-E device-control case study: the
+GPU opens ``/dev/fb0``, issues ``ioctl`` FBIOGET/FBIOPUT calls to query
+and set the video mode, ``mmap``s the pixel memory, and blits a raster
+image into it (the paper's Figure 16).  The terminal backs grep's
+"print matching files to the console" path.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List, Tuple
+
+import numpy as np
+
+from repro.machine import MachineConfig
+from repro.oskernel.errors import Errno, OsError
+from repro.sim.engine import Simulator
+
+# fbdev ioctl numbers (values match Linux's fb.h).
+FBIOGET_VSCREENINFO = 0x4600
+FBIOPUT_VSCREENINFO = 0x4601
+FBIOGET_FSCREENINFO = 0x4602
+FBIOPAN_DISPLAY = 0x4606
+
+
+class TerminalDevice:
+    """Console: written bytes accumulate into inspectable lines."""
+
+    def __init__(self, sim: Simulator, config: MachineConfig):
+        self.sim = sim
+        self.config = config
+        self._buffer = bytearray()
+        self.lines: List[str] = []
+        self.bytes_written = 0
+
+    def write(self, data: bytes, offset: int) -> Generator:
+        """Process body: write to the terminal (offset ignored, tty-like)."""
+        # Terminal output is slow: ~1 ns/byte plus a syscall-ish fixed cost.
+        yield 500.0 + len(data)
+        self.bytes_written += len(data)
+        self._buffer.extend(data)
+        while b"\n" in self._buffer:
+            line, _, rest = bytes(self._buffer).partition(b"\n")
+            self.lines.append(line.decode("utf-8", errors="replace"))
+            self._buffer = bytearray(rest)
+        return len(data)
+
+    def read(self, count: int, offset: int) -> Generator:
+        raise OsError(Errno.EAGAIN, "no terminal input model")
+        yield  # pragma: no cover
+
+    @property
+    def output(self) -> str:
+        return "\n".join(self.lines)
+
+
+class VarScreenInfo:
+    """fb_var_screeninfo subset."""
+
+    __slots__ = ("xres", "yres", "bits_per_pixel")
+
+    def __init__(self, xres: int, yres: int, bits_per_pixel: int):
+        self.xres = xres
+        self.yres = yres
+        self.bits_per_pixel = bits_per_pixel
+
+    def copy(self) -> "VarScreenInfo":
+        return VarScreenInfo(self.xres, self.yres, self.bits_per_pixel)
+
+
+class FixScreenInfo:
+    """fb_fix_screeninfo subset."""
+
+    __slots__ = ("smem_len", "line_length")
+
+    def __init__(self, smem_len: int, line_length: int):
+        self.smem_len = smem_len
+        self.line_length = line_length
+
+
+class FramebufferDevice:
+    """/dev/fb0 with ioctl mode control and mmap-able pixel memory."""
+
+    SUPPORTED_MODES: Tuple[Tuple[int, int], ...] = (
+        (64, 64),
+        (160, 120),
+        (320, 240),
+        (640, 480),
+        (800, 600),
+        (1024, 768),
+        (1920, 1080),
+    )
+
+    def __init__(self, sim: Simulator, config: MachineConfig, xres: int = 1024, yres: int = 768):
+        self.sim = sim
+        self.config = config
+        self.var = VarScreenInfo(xres, yres, 32)
+        self.pixels = np.zeros((yres, xres), dtype=np.uint32)
+        self.ioctl_count = 0
+        self.pan_count = 0
+
+    @property
+    def fix(self) -> FixScreenInfo:
+        bytespp = self.var.bits_per_pixel // 8
+        return FixScreenInfo(
+            smem_len=self.var.xres * self.var.yres * bytespp,
+            line_length=self.var.xres * bytespp,
+        )
+
+    def ioctl(self, cmd: int, arg) -> Generator:
+        """Process body: device control; returns the result object/int."""
+        yield 2_000.0  # driver round-trip
+        self.ioctl_count += 1
+        if cmd == FBIOGET_VSCREENINFO:
+            return self.var.copy()
+        if cmd == FBIOGET_FSCREENINFO:
+            return self.fix
+        if cmd == FBIOPUT_VSCREENINFO:
+            if not isinstance(arg, VarScreenInfo):
+                raise OsError(Errno.EINVAL, "expected VarScreenInfo")
+            if (arg.xres, arg.yres) not in self.SUPPORTED_MODES:
+                raise OsError(Errno.EINVAL, f"mode {arg.xres}x{arg.yres} unsupported")
+            if arg.bits_per_pixel != 32:
+                raise OsError(Errno.EINVAL, "only 32bpp supported")
+            self.var = arg.copy()
+            self.pixels = np.zeros((arg.yres, arg.xres), dtype=np.uint32)
+            return 0
+        if cmd == FBIOPAN_DISPLAY:
+            self.pan_count += 1
+            return 0
+        raise OsError(Errno.ENOTTY, f"ioctl 0x{cmd:x}")
+
+    def mmap(self, length: int, offset: int):
+        """Map the pixel memory; returns the live numpy array."""
+        if offset != 0:
+            raise OsError(Errno.EINVAL, "framebuffer mmap offset must be 0")
+        if length > self.fix.smem_len:
+            raise OsError(Errno.EINVAL, "mapping larger than framebuffer")
+        return self.pixels
+
+    def write(self, data: bytes, offset: int) -> Generator:
+        """Byte-wise writes land in pixel memory (fb supports write(2))."""
+        yield len(data) / self.config.cpu_copy_bw_bytes_per_ns
+        flat = self.pixels.reshape(-1).view(np.uint8)
+        end = offset + len(data)
+        if end > flat.size:
+            raise OsError(Errno.ENOSPC, "write past end of framebuffer")
+        flat[offset:end] = np.frombuffer(bytes(data), dtype=np.uint8)
+        return len(data)

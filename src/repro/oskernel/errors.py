@@ -1,0 +1,49 @@
+"""POSIX errno values and the kernel-facing error type."""
+
+from __future__ import annotations
+
+from enum import IntEnum
+
+
+class Errno(IntEnum):
+    EPERM = 1
+    ENOENT = 2
+    ESRCH = 3
+    EINTR = 4
+    EIO = 5
+    EBADF = 9
+    EAGAIN = 11
+    ENOMEM = 12
+    EACCES = 13
+    EFAULT = 14
+    EEXIST = 17
+    ENOTDIR = 20
+    EISDIR = 21
+    EINVAL = 22
+    ENFILE = 23
+    EMFILE = 24
+    ENOTTY = 25
+    ENOSPC = 28
+    ESPIPE = 29
+    EPIPE = 32
+    ENOSYS = 38
+    ENOTEMPTY = 39
+    EADDRINUSE = 98
+    ECONNREFUSED = 111
+
+
+class OsError(Exception):
+    """A failed system call.
+
+    GENESYS converts this into the conventional negative-errno return
+    value written back into the syscall slot, exactly as the Linux
+    syscall ABI does.
+    """
+
+    def __init__(self, errno: Errno, message: str = ""):
+        super().__init__(f"{errno.name}: {message}" if message else errno.name)
+        self.errno = errno
+
+    @property
+    def retval(self) -> int:
+        return -int(self.errno)

@@ -1,0 +1,41 @@
+"""Interrupt controller: GPU-to-CPU interrupt delivery.
+
+GENESYS's step 2 (Figure 2): the GPU raises an interrupt carrying the
+issuing wavefront's hardware ID.  Each interrupt runs a short handler on
+a CPU core (top half); the registered callback then decides what to do —
+for GENESYS, start or extend a coalescing bundle and eventually enqueue
+a workqueue task (bottom half).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, Optional
+
+from repro.machine import MachineConfig
+from repro.oskernel.cpu import CpuComplex
+from repro.sim.engine import Simulator
+
+
+class InterruptController:
+    def __init__(self, sim: Simulator, config: MachineConfig, cpu: CpuComplex):
+        self.sim = sim
+        self.config = config
+        self.cpu = cpu
+        self.raised = 0
+        self._handler: Optional[Callable[[Any], None]] = None
+
+    def register_handler(self, handler: Callable[[Any], None]) -> None:
+        """Install the bottom-half callback (runs functionally after the
+        timed top half)."""
+        self._handler = handler
+
+    def raise_irq(self, payload: Any) -> None:
+        """Raise one interrupt (called from Do-ops at GPU time)."""
+        if self._handler is None:
+            raise RuntimeError("no interrupt handler registered")
+        self.raised += 1
+        self.sim.process(self._top_half(payload), name="irq")
+
+    def _top_half(self, payload: Any) -> Generator:
+        yield from self.cpu.run(self.config.interrupt_handler_ns)
+        self._handler(payload)

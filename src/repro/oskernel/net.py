@@ -1,0 +1,134 @@
+"""UDP networking: sockets, ports, a latency/bandwidth-modelled link.
+
+Backs the memcached case study (Section VIII-D): the paper deliberately
+avoids RDMA and uses plain ``sendto``/``recvfrom`` over UDP, so the model
+is a host-local network of named endpoints connected by a NIC-like
+channel (fixed one-way latency + serialised bandwidth).  Datagrams carry
+real payload bytes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, Optional, Tuple
+
+from repro.machine import MachineConfig
+from repro.oskernel.errors import Errno, OsError
+from repro.sim.engine import Simulator
+from repro.sim.resources import BandwidthResource, Store
+
+Address = Tuple[str, int]
+
+
+class Datagram:
+    __slots__ = ("payload", "source")
+
+    def __init__(self, payload: bytes, source: Address):
+        self.payload = bytes(payload)
+        self.source = source
+
+
+class UdpSocket:
+    """One UDP endpoint; datagrams queue in arrival order."""
+
+    _next_id = 0
+
+    def __init__(self, net: "Network", host: str):
+        self.net = net
+        self.host = host
+        self.sock_id = UdpSocket._next_id
+        UdpSocket._next_id += 1
+        self.port: Optional[int] = None
+        self.queue = Store(net.sim, name=f"udp{self.sock_id}")
+        self.closed = False
+        self.rx_packets = 0
+        self.tx_packets = 0
+
+    def bind(self, port: int) -> None:
+        self.net.bind(self, port)
+
+    def __repr__(self) -> str:
+        return f"UdpSocket({self.host}:{self.port})"
+
+
+class Network:
+    """All endpoints plus the shared link model."""
+
+    EPHEMERAL_BASE = 32768
+
+    def __init__(self, sim: Simulator, config: MachineConfig):
+        self.sim = sim
+        self.config = config
+        self._bound: Dict[Address, UdpSocket] = {}
+        self._next_ephemeral = self.EPHEMERAL_BASE
+        self.link = BandwidthResource(
+            sim,
+            rate_bytes_per_ns=config.nic_bw_bytes_per_ns,
+            fixed_latency=0.0,
+            name="nic",
+        )
+        self.packets_sent = 0
+        self.packets_dropped = 0
+        self._tx_counter = 0
+
+    def socket(self, host: str = "localhost") -> UdpSocket:
+        return UdpSocket(self, host)
+
+    def bind(self, sock: UdpSocket, port: int) -> None:
+        if sock.closed:
+            raise OsError(Errno.EBADF, "socket closed")
+        addr = (sock.host, port)
+        if addr in self._bound:
+            raise OsError(Errno.EADDRINUSE, f"{addr}")
+        if sock.port is not None:
+            del self._bound[(sock.host, sock.port)]
+        self._bound[addr] = sock
+        sock.port = port
+
+    def _ensure_bound(self, sock: UdpSocket) -> None:
+        if sock.port is None:
+            while (sock.host, self._next_ephemeral) in self._bound:
+                self._next_ephemeral += 1
+            self.bind(sock, self._next_ephemeral)
+            self._next_ephemeral += 1
+
+    def close(self, sock: UdpSocket) -> None:
+        sock.closed = True
+        if sock.port is not None:
+            self._bound.pop((sock.host, sock.port), None)
+
+    # -- timed data path ----------------------------------------------------
+
+    def sendto(self, sock: UdpSocket, payload: bytes, dest: Address) -> Generator:
+        """Process body: transmit one datagram; returns bytes sent."""
+        if sock.closed:
+            raise OsError(Errno.EBADF, "socket closed")
+        self._ensure_bound(sock)
+        yield from self.link.transfer(len(payload))
+        yield self.config.nic_latency_ns
+        self.packets_sent += 1
+        sock.tx_packets += 1
+        self._tx_counter += 1
+        if (
+            self.config.nic_drop_every
+            and self._tx_counter % self.config.nic_drop_every == 0
+        ):
+            # Deterministic loss model: UDP is lossy by contract.
+            self.packets_dropped += 1
+            return len(payload)
+        target = self._bound.get(dest)
+        if target is None or target.closed:
+            # UDP: silently dropped (no ICMP model).
+            self.packets_dropped += 1
+            return len(payload)
+        target.rx_packets += 1
+        target.queue.put(Datagram(payload, (sock.host, sock.port)))
+        return len(payload)
+
+    def recvfrom(self, sock: UdpSocket, bufsize: int) -> Generator:
+        """Process body: blocking receive; returns (payload, source)."""
+        if sock.closed:
+            raise OsError(Errno.EBADF, "socket closed")
+        self._ensure_bound(sock)
+        datagram = yield sock.queue.get()
+        payload = datagram.payload[:bufsize]
+        return payload, datagram.source

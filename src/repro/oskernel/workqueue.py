@@ -1,0 +1,63 @@
+"""Kernel workqueue: deferred task execution on OS worker threads.
+
+Section VI: "The interrupt handler creates a new kernel task and adds it
+to Linux's work-queue.  At an expedient future point in time an OS
+worker thread executes this task."  Tasks here are process bodies
+(generators); a fixed pool of worker loops drains the queue, paying a
+dispatch delay per task and competing for CPU cores through whatever
+:class:`~repro.oskernel.cpu.CpuComplex` charges the task body makes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator, List
+
+from repro.machine import MachineConfig
+from repro.sim.engine import Process, Simulator
+from repro.sim.resources import Store
+
+
+class WorkQueue:
+    def __init__(
+        self,
+        sim: Simulator,
+        config: MachineConfig,
+        num_workers: int = 0,
+        name: str = "kworker",
+    ):
+        self.sim = sim
+        self.config = config
+        self.name = name
+        self.num_workers = num_workers or config.workqueue_workers
+        self._tasks = Store(sim, name=f"wq:{name}")
+        self.submitted = 0
+        self.completed = 0
+        self._workers: List[Process] = [
+            sim.process(self._worker_loop(i), name=f"{name}/{i}")
+            for i in range(self.num_workers)
+        ]
+
+    @property
+    def backlog(self) -> int:
+        return len(self._tasks)
+
+    @property
+    def outstanding(self) -> int:
+        return self.submitted - self.completed
+
+    def submit(self, task_factory: Callable[[], Generator]) -> None:
+        """Enqueue a task; ``task_factory()`` is called on a worker thread."""
+        self.submitted += 1
+        self._tasks.put(task_factory)
+
+    def _worker_loop(self, worker_id: int) -> Generator:
+        while True:
+            task_factory = yield self._tasks.get()
+            yield self.config.workqueue_dispatch_ns
+            yield from task_factory()
+            self.completed += 1
+
+    def quiesce(self) -> Generator:
+        """Process body: wait until no submitted task remains unfinished."""
+        while self.outstanding > 0:
+            yield 1000.0

@@ -1,0 +1,324 @@
+"""Core discrete-event simulation engine.
+
+Time is measured in integer (or float) nanoseconds.  A simulation
+*process* is a generator; each value it yields tells the engine when to
+resume it:
+
+* a non-negative number — resume after that many nanoseconds,
+* a :class:`Delay` — the explicit form of the above,
+* an :class:`Event` — resume when the event is triggered; the value the
+  event was triggered with becomes the value of the ``yield`` expression,
+* a :class:`Process` — resume when that process finishes (join); the
+  process's return value becomes the value of the ``yield`` expression,
+* an :class:`AllOf` / :class:`AnyOf` — combinators over the above.
+
+Processes may raise :class:`Interrupted` at a yield point if another
+process calls :meth:`Process.interrupt`; this powers the halt-resume
+wavefront model.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Generator, Iterable, List, Optional
+
+
+class SimulationError(RuntimeError):
+    """Raised for structural misuse of the engine (not model errors)."""
+
+
+class Interrupted(Exception):
+    """Thrown into a process that another process interrupted.
+
+    The ``cause`` attribute carries the value passed to
+    :meth:`Process.interrupt`.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(f"process interrupted: {cause!r}")
+        self.cause = cause
+
+
+class Delay:
+    """Explicit request to sleep for ``duration`` nanoseconds."""
+
+    __slots__ = ("duration",)
+
+    def __init__(self, duration: float):
+        if duration < 0:
+            raise ValueError(f"negative delay: {duration}")
+        self.duration = duration
+
+    def __repr__(self) -> str:
+        return f"Delay({self.duration})"
+
+
+class Event:
+    """One-shot synchronisation event.
+
+    An event starts un-triggered.  Processes that yield it are suspended
+    until :meth:`succeed` (or :meth:`fail`) is called, at which point all
+    waiters resume with the trigger value.  Triggering twice is an error;
+    yielding an already-triggered event resumes immediately.
+    """
+
+    __slots__ = ("sim", "_value", "_exc", "triggered", "_waiters", "name")
+
+    def __init__(self, sim: "Simulator", name: str = ""):
+        self.sim = sim
+        self.name = name
+        self.triggered = False
+        self._value: Any = None
+        self._exc: Optional[BaseException] = None
+        self._waiters: List["Process"] = []
+
+    @property
+    def value(self) -> Any:
+        return self._value
+
+    def succeed(self, value: Any = None) -> "Event":
+        if self.triggered:
+            raise SimulationError(f"event {self.name!r} triggered twice")
+        self.triggered = True
+        self._value = value
+        for proc in self._waiters:
+            self.sim._schedule(0, proc, value=value)
+        self._waiters.clear()
+        return self
+
+    def fail(self, exc: BaseException) -> "Event":
+        if self.triggered:
+            raise SimulationError(f"event {self.name!r} triggered twice")
+        self.triggered = True
+        self._exc = exc
+        for proc in self._waiters:
+            self.sim._schedule(0, proc, exc=exc)
+        self._waiters.clear()
+        return self
+
+    def _add_waiter(self, proc: "Process") -> None:
+        if self.triggered:
+            if self._exc is not None:
+                self.sim._schedule(0, proc, exc=self._exc)
+            else:
+                self.sim._schedule(0, proc, value=self._value)
+        else:
+            self._waiters.append(proc)
+
+    def _discard_waiter(self, proc: "Process") -> None:
+        try:
+            self._waiters.remove(proc)
+        except ValueError:
+            pass
+
+    def __repr__(self) -> str:
+        state = "triggered" if self.triggered else "pending"
+        return f"Event({self.name!r}, {state})"
+
+
+class AllOf:
+    """Combinator: resume when *all* of the given events/processes finish.
+
+    The yield expression evaluates to a list of their values, in order.
+    """
+
+    __slots__ = ("items",)
+
+    def __init__(self, items: Iterable[Any]):
+        self.items = list(items)
+
+
+class AnyOf:
+    """Combinator: resume when *any one* of the given events/processes
+    finishes.  The yield expression evaluates to ``(index, value)`` of the
+    first completer (ties broken by order)."""
+
+    __slots__ = ("items",)
+
+    def __init__(self, items: Iterable[Any]):
+        self.items = list(items)
+
+
+class Process:
+    """A running simulation process wrapping a generator."""
+
+    __slots__ = (
+        "sim",
+        "generator",
+        "name",
+        "finished",
+        "result",
+        "_completion",
+        "_waiting_on",
+        "_interruptible",
+    )
+
+    def __init__(self, sim: "Simulator", generator: Generator, name: str = ""):
+        self.sim = sim
+        self.generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self.finished = False
+        self.result: Any = None
+        self._completion = Event(sim, name=f"done:{self.name}")
+        self._waiting_on: Optional[Event] = None
+        self._interruptible = True
+
+    @property
+    def completion(self) -> Event:
+        """Event triggered with the process's return value when it ends."""
+        return self._completion
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupted` into the process at its yield point."""
+        if self.finished:
+            return
+        if self._waiting_on is not None:
+            self._waiting_on._discard_waiter(self)
+            self._waiting_on = None
+        self.sim._schedule(0, self, exc=Interrupted(cause))
+
+    def _add_waiter(self, proc: "Process") -> None:
+        self._completion._add_waiter(proc)
+
+    def _discard_waiter(self, proc: "Process") -> None:
+        self._completion._discard_waiter(proc)
+
+    def __repr__(self) -> str:
+        state = "finished" if self.finished else "running"
+        return f"Process({self.name!r}, {state})"
+
+
+class _Condition:
+    """Internal helper joining AllOf/AnyOf children into one event."""
+
+    def __init__(self, sim: "Simulator", items: List[Any], mode: str):
+        self.event = Event(sim, name=f"cond:{mode}")
+        self.mode = mode
+        self.values: List[Any] = [None] * len(items)
+        self.remaining = len(items)
+        for idx, item in enumerate(items):
+            self._watch(sim, idx, item)
+
+    def _watch(self, sim: "Simulator", idx: int, item: Any) -> None:
+        def waiter() -> Generator:
+            value = yield item
+            self.values[idx] = value
+            self.remaining -= 1
+            if self.event.triggered:
+                return
+            if self.mode == "any":
+                self.event.succeed((idx, value))
+            elif self.remaining == 0:
+                self.event.succeed(list(self.values))
+
+        sim.process(waiter(), name=f"cond-watch-{idx}")
+
+
+class Simulator:
+    """The discrete-event simulator: clock + event heap + process driver."""
+
+    def __init__(self):
+        self.now: float = 0
+        self._heap: List = []
+        self._seq = 0
+        self._active = 0
+
+    # -- scheduling ----------------------------------------------------
+
+    def _schedule(
+        self,
+        delay: float,
+        proc: Process,
+        value: Any = None,
+        exc: Optional[BaseException] = None,
+    ) -> None:
+        self._seq += 1
+        heapq.heappush(self._heap, (self.now + delay, self._seq, proc, value, exc))
+
+    def process(self, generator: Generator, name: str = "") -> Process:
+        """Spawn ``generator`` as a new process starting at the current time."""
+        proc = Process(self, generator, name=name)
+        self._active += 1
+        self._schedule(0, proc)
+        return proc
+
+    def event(self, name: str = "") -> Event:
+        return Event(self, name=name)
+
+    def timeout(self, duration: float) -> Delay:
+        return Delay(duration)
+
+    # -- execution -----------------------------------------------------
+
+    def _step(self) -> None:
+        when, _seq, proc, value, exc = heapq.heappop(self._heap)
+        if proc.finished:
+            return
+        self.now = when
+        proc._waiting_on = None
+        try:
+            if exc is not None:
+                target = proc.generator.throw(exc)
+            else:
+                target = proc.generator.send(value)
+        except StopIteration as stop:
+            self._finish(proc, stop.value)
+            return
+        except Interrupted:
+            # Interrupt not caught by the process body: treat as clean stop.
+            self._finish(proc, None)
+            return
+        self._wait_on(proc, target)
+
+    def _finish(self, proc: Process, result: Any) -> None:
+        proc.finished = True
+        proc.result = result
+        self._active -= 1
+        if not proc._completion.triggered:
+            proc._completion.succeed(result)
+
+    def _wait_on(self, proc: Process, target: Any) -> None:
+        if isinstance(target, (int, float)):
+            target = Delay(target)
+        if isinstance(target, Delay):
+            self._schedule(target.duration, proc)
+        elif isinstance(target, Event):
+            proc._waiting_on = target
+            target._add_waiter(proc)
+        elif isinstance(target, Process):
+            proc._waiting_on = target._completion
+            target._add_waiter(proc)
+        elif isinstance(target, AllOf):
+            cond = _Condition(self, target.items, mode="all")
+            proc._waiting_on = cond.event
+            cond.event._add_waiter(proc)
+        elif isinstance(target, AnyOf):
+            cond = _Condition(self, target.items, mode="any")
+            proc._waiting_on = cond.event
+            cond.event._add_waiter(proc)
+        else:
+            raise SimulationError(f"process {proc.name!r} yielded {target!r}")
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Drain the event queue; returns the final simulation time.
+
+        With ``until`` set, stops once the clock would pass that time
+        (the clock is left at ``until``).
+        """
+        while self._heap:
+            when = self._heap[0][0]
+            if until is not None and when > until:
+                self.now = until
+                return self.now
+            self._step()
+        if until is not None and until > self.now:
+            self.now = until
+        return self.now
+
+    def run_process(self, generator: Generator, name: str = "") -> Any:
+        """Convenience: spawn ``generator``, run to completion, return its value."""
+        proc = self.process(generator, name=name)
+        self.run()
+        if not proc.finished:
+            raise SimulationError(f"process {proc.name!r} deadlocked")
+        return proc.result

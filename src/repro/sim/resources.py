@@ -1,0 +1,192 @@
+"""Shared synchronisation resources built on the simulation engine.
+
+Three primitives cover every contention point in the model:
+
+* :class:`Resource` — a counted semaphore with FIFO queuing (CPU cores,
+  CU wavefront slots, worker threads).
+* :class:`Store` — an unbounded FIFO of items with blocking ``get``
+  (kernel workqueues, NIC receive queues, signal queues).
+* :class:`BandwidthResource` — a serialising channel where moving *B*
+  bytes takes ``B / rate`` ns and transfers queue behind one another
+  (DRAM, SSD, NIC links).  This is what creates the CPU/GPU memory
+  contention of the paper's Figure 9 and the disk ceiling of Figure 14.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Generator, List, Optional, Tuple
+
+from repro.sim.engine import Event, Simulator
+
+
+class Resource:
+    """Counted FIFO semaphore.
+
+    Usage inside a process::
+
+        yield resource.acquire()
+        try:
+            ...
+        finally:
+            resource.release()
+    """
+
+    def __init__(self, sim: Simulator, capacity: int, name: str = ""):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self.in_use = 0
+        self._queue: Deque[Event] = deque()
+
+    @property
+    def available(self) -> int:
+        return self.capacity - self.in_use
+
+    def acquire(self) -> Event:
+        """Return an event that triggers once a unit is granted."""
+        event = self.sim.event(name=f"acq:{self.name}")
+        if self.in_use < self.capacity and not self._queue:
+            self.in_use += 1
+            event.succeed()
+        else:
+            self._queue.append(event)
+        return event
+
+    def release(self) -> None:
+        if self.in_use <= 0:
+            raise RuntimeError(f"release of idle resource {self.name!r}")
+        if self._queue:
+            # Hand the unit straight to the next waiter.
+            self._queue.popleft().succeed()
+        else:
+            self.in_use -= 1
+
+    def using(self, duration: float) -> Generator:
+        """Process body: hold one unit for ``duration`` ns."""
+        yield self.acquire()
+        try:
+            yield duration
+        finally:
+            self.release()
+
+
+class Store:
+    """Unbounded FIFO of items with blocking ``get``."""
+
+    def __init__(self, sim: Simulator, name: str = ""):
+        self.sim = sim
+        self.name = name
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+        self._watchers: List[Event] = []
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> None:
+        if self._getters:
+            self._getters.popleft().succeed(item)
+        else:
+            self._items.append(item)
+        if self._watchers:
+            watchers, self._watchers = self._watchers, []
+            for event in watchers:
+                if not event.triggered:
+                    event.succeed()
+
+    def when_nonempty(self) -> Event:
+        """Readiness event: fires when an item is (or becomes) available
+        without consuming it.  Wakeups may be spurious if a competing
+        getter takes the item first — callers must re-check, exactly as
+        POSIX poll(2) allows."""
+        event = self.sim.event(name=f"ready:{self.name}")
+        if self._items:
+            event.succeed()
+        else:
+            self._watchers.append(event)
+        return event
+
+    def get(self) -> Event:
+        """Return an event triggering with the next item."""
+        event = self.sim.event(name=f"get:{self.name}")
+        if self._items:
+            event.succeed(self._items.popleft())
+        else:
+            self._getters.append(event)
+        return event
+
+    def peek_all(self) -> List[Any]:
+        return list(self._items)
+
+
+class BandwidthResource:
+    """A serialising transfer channel with a fixed byte rate.
+
+    ``transfer(nbytes)`` is a process body that completes after the
+    request has waited for all previously queued transfers and then
+    streamed at ``rate_bytes_per_ns``.  An optional per-transfer fixed
+    latency models device setup cost.
+
+    Total bytes moved and busy time are tracked so callers can compute
+    achieved throughput and utilisation (used for Figures 9 and 14).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        rate_bytes_per_ns: float,
+        name: str = "",
+        fixed_latency: float = 0.0,
+    ):
+        if rate_bytes_per_ns <= 0:
+            raise ValueError("rate must be positive")
+        self.sim = sim
+        self.rate = rate_bytes_per_ns
+        self.fixed_latency = fixed_latency
+        self.name = name
+        self._gate = Resource(sim, 1, name=f"bw:{name}")
+        self.bytes_moved = 0
+        self.busy_time = 0.0
+        self._samples: List[Tuple[float, int]] = []
+
+    def transfer_time(self, nbytes: int) -> float:
+        return self.fixed_latency + nbytes / self.rate
+
+    def transfer(self, nbytes: int) -> Generator:
+        """Process body: move ``nbytes`` through the channel."""
+        if nbytes < 0:
+            raise ValueError(f"negative transfer size: {nbytes}")
+        yield self._gate.acquire()
+        try:
+            duration = self.transfer_time(nbytes)
+            yield duration
+            self.bytes_moved += nbytes
+            self.busy_time += duration
+            self._samples.append((self.sim.now, nbytes))
+        finally:
+            self._gate.release()
+
+    def utilization(self, since: float = 0.0) -> float:
+        """Fraction of wall time the channel was busy since ``since``."""
+        elapsed = self.sim.now - since
+        if elapsed <= 0:
+            return 0.0
+        return min(1.0, self.busy_time / elapsed)
+
+    def throughput_series(
+        self, bin_ns: float, start: float = 0.0, end: Optional[float] = None
+    ) -> List[Tuple[float, float]]:
+        """Binned achieved throughput in bytes/ns (for trace figures)."""
+        if end is None:
+            end = self.sim.now
+        if bin_ns <= 0:
+            raise ValueError("bin_ns must be positive")
+        nbins = max(1, int((end - start) / bin_ns) + 1)
+        totals = [0.0] * nbins
+        for when, nbytes in self._samples:
+            if start <= when <= end:
+                totals[int((when - start) / bin_ns)] += nbytes
+        return [(start + i * bin_ns, totals[i] / bin_ns) for i in range(nbins)]

@@ -1,0 +1,155 @@
+"""Measurement utilities: counters, time-series traces, utilisation.
+
+The paper's Figure 14 plots CPU utilisation and disk throughput over the
+run of the wordcount workload; :class:`UtilizationTracker` and
+:class:`TraceRecorder` provide exactly the sampled series needed to
+regenerate those traces, and simpler :class:`Counter` objects back the
+scalar rows of the other figures.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Optional, Tuple
+
+from repro.sim.engine import Simulator
+
+
+class Counter:
+    """A named monotonically increasing counter."""
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self.value = 0
+
+    def add(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only increase")
+        self.value += amount
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name!r}, {self.value})"
+
+
+class TraceRecorder:
+    """Records (time, value) samples under string keys."""
+
+    def __init__(self, sim: Simulator):
+        self.sim = sim
+        self._series: Dict[str, List[Tuple[float, float]]] = defaultdict(list)
+
+    def record(self, key: str, value: float) -> None:
+        self._series[key].append((self.sim.now, value))
+
+    def series(self, key: str) -> List[Tuple[float, float]]:
+        return list(self._series[key])
+
+    def keys(self) -> List[str]:
+        return sorted(self._series)
+
+    def last(self, key: str, default: float = 0.0) -> float:
+        points = self._series.get(key)
+        return points[-1][1] if points else default
+
+    def binned_mean(
+        self, key: str, bin_ns: float, start: float = 0.0, end: Optional[float] = None
+    ) -> List[Tuple[float, float]]:
+        """Average the samples of ``key`` into fixed-width time bins."""
+        if end is None:
+            end = self.sim.now
+        if bin_ns <= 0:
+            raise ValueError("bin_ns must be positive")
+        nbins = max(1, int((end - start) / bin_ns) + 1)
+        sums = [0.0] * nbins
+        counts = [0] * nbins
+        for when, value in self._series.get(key, []):
+            if start <= when <= end:
+                idx = int((when - start) / bin_ns)
+                sums[idx] += value
+                counts[idx] += 1
+        out = []
+        for i in range(nbins):
+            mean = sums[i] / counts[i] if counts[i] else 0.0
+            out.append((start + i * bin_ns, mean))
+        return out
+
+
+class UtilizationTracker:
+    """Tracks what fraction of time a set of execution units is busy.
+
+    Units call :meth:`busy` / :meth:`idle` as they start and finish work;
+    the tracker integrates (busy_units / total_units) over time, and can
+    report both a whole-run average and a binned series.
+    """
+
+    def __init__(self, sim: Simulator, total_units: int, name: str = ""):
+        if total_units < 1:
+            raise ValueError("total_units must be >= 1")
+        self.sim = sim
+        self.total_units = total_units
+        self.name = name
+        self._busy = 0
+        self._last_change = sim.now
+        self._weighted_busy = 0.0
+        self._segments: List[Tuple[float, float, float]] = []
+
+    def _commit(self) -> None:
+        now = self.sim.now
+        if now > self._last_change:
+            frac = self._busy / self.total_units
+            self._weighted_busy += (now - self._last_change) * frac
+            self._segments.append((self._last_change, now, frac))
+        self._last_change = now
+
+    def busy(self) -> None:
+        self._commit()
+        self._busy += 1
+        if self._busy > self.total_units:
+            raise RuntimeError(f"{self.name}: more busy units than exist")
+
+    def idle(self) -> None:
+        self._commit()
+        if self._busy == 0:
+            raise RuntimeError(f"{self.name}: idle() without busy()")
+        self._busy -= 1
+
+    def average(self, since: float = 0.0) -> float:
+        """Time-weighted average utilisation in [0, 1] since ``since``."""
+        self._commit()
+        elapsed = self.sim.now - since
+        if elapsed <= 0:
+            return 0.0
+        weighted = 0.0
+        for seg_start, seg_end, frac in self._segments:
+            lo = max(seg_start, since)
+            hi = seg_end
+            if hi > lo:
+                weighted += (hi - lo) * frac
+        return weighted / elapsed
+
+    def segments(self) -> List[Tuple[float, float, float]]:
+        """All (start, end, busy_fraction) segments recorded so far."""
+        self._commit()
+        return list(self._segments)
+
+    def binned_series(
+        self, bin_ns: float, start: float = 0.0, end: Optional[float] = None
+    ) -> List[Tuple[float, float]]:
+        """Utilisation averaged per time bin (Figure 14 trace shape)."""
+        self._commit()
+        if end is None:
+            end = self.sim.now
+        if bin_ns <= 0:
+            raise ValueError("bin_ns must be positive")
+        nbins = max(1, int((end - start) / bin_ns) + 1)
+        weighted = [0.0] * nbins
+        for seg_start, seg_end, frac in self._segments:
+            lo = max(seg_start, start)
+            hi = min(seg_end, end)
+            while lo < hi:
+                idx = min(nbins - 1, int((lo - start) / bin_ns))
+                bin_end = start + (idx + 1) * bin_ns
+                span = min(hi, bin_end) - lo
+                weighted[idx] += span * frac
+                lo += span
+        return [(start + i * bin_ns, weighted[i] / bin_ns) for i in range(nbins)]

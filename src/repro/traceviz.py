@@ -1,0 +1,117 @@
+"""Chrome-trace export of a simulation run.
+
+``export_chrome_trace(system)`` turns a finished :class:`~repro.system.
+System` into the Trace Event Format consumed by chrome://tracing and
+Perfetto (https://ui.perfetto.dev): CPU-side syscall servicing appears
+as complete ("X") events on per-wavefront tracks, and CPU/GPU
+utilisation plus disk throughput appear as counter ("C") tracks.
+
+Usage::
+
+    system = System()
+    ... run workloads ...
+    from repro.traceviz import export_chrome_trace, write_chrome_trace
+    write_chrome_trace(system, "run.trace.json")
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+from repro.system import System
+
+# Trace Event Format pids/tids are arbitrary labels; group by subsystem.
+PID_SYSCALLS = 1
+PID_COUNTERS = 2
+
+
+def _syscall_events(system: System) -> List[dict]:
+    events = []
+    for name, hw_id, start_ns, end_ns in system.genesys.completion_log:
+        events.append(
+            {
+                "name": name,
+                "cat": "syscall",
+                "ph": "X",
+                "ts": start_ns / 1000.0,  # trace format wants microseconds
+                "dur": max(end_ns - start_ns, 1) / 1000.0,
+                "pid": PID_SYSCALLS,
+                "tid": hw_id,
+                "args": {"hw_wavefront": hw_id},
+            }
+        )
+    return events
+
+
+def _counter_events(system: System) -> List[dict]:
+    events = []
+    for label, tracker in (
+        ("cpu_utilization", system.cpu.utilization),
+        ("gpu_slot_utilization", system.gpu.utilization),
+    ):
+        for start, _end, fraction in tracker.segments():
+            events.append(
+                {
+                    "name": label,
+                    "cat": "utilization",
+                    "ph": "C",
+                    "ts": start / 1000.0,
+                    "pid": PID_COUNTERS,
+                    "args": {"busy": round(fraction, 4)},
+                }
+            )
+    disk = system.kernel.disk
+    if disk is not None and system.now > 0:
+        bin_ns = max(1.0, system.now / 64)
+        for when, rate in disk.throughput_series(bin_ns):
+            events.append(
+                {
+                    "name": "disk_throughput_MBps",
+                    "cat": "io",
+                    "ph": "C",
+                    "ts": when / 1000.0,
+                    "pid": PID_COUNTERS,
+                    "args": {"MBps": round(rate * 1000.0, 2)},
+                }
+            )
+    return events
+
+
+def _metadata_events() -> List[dict]:
+    return [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": PID_SYSCALLS,
+            "args": {"name": "GENESYS syscall servicing"},
+        },
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": PID_COUNTERS,
+            "args": {"name": "machine counters"},
+        },
+    ]
+
+
+def export_chrome_trace(system: System) -> dict:
+    """Build the Trace Event Format dict for a finished run."""
+    events = _metadata_events() + _syscall_events(system) + _counter_events(system)
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ns",
+        "otherData": {
+            "generator": "repro (GENESYS reproduction)",
+            "simulated_ns": system.now,
+            "syscalls": system.genesys.syscalls_completed,
+        },
+    }
+
+
+def write_chrome_trace(system: System, path: str) -> dict:
+    """Export and write the trace JSON to ``path``; returns the dict."""
+    trace = export_chrome_trace(system)
+    with open(path, "w") as fh:
+        json.dump(trace, fh)
+    return trace

@@ -1,0 +1,35 @@
+"""The paper's end-to-end case studies (Table I / Section VIII).
+
+Six applications, each with the baseline(s) the paper compares against:
+
+* :mod:`miniamr` — adaptive-mesh stencil managing its own memory with
+  ``getrusage`` + ``madvise`` (Figure 11).
+* :mod:`signal_search` — CPU/GPU map-reduce using ``rt_sigqueueinfo``
+  for partial-completion notification (Figure 12).
+* :mod:`grepwl` — ``grep -F -l`` with work-item-granularity output to
+  the console (Figure 13a).
+* :mod:`wordcount` — the GPUfs workload: ``open``/``read``/``close``
+  word counting from SSD (Figures 13b and 14).
+* :mod:`memcachedwl` — UDP memcached with GPU-served GETs via
+  ``sendto``/``recvfrom`` (Figure 15).
+* :mod:`bmp_display` — framebuffer control via ``ioctl`` + ``mmap``
+  (Figure 16).
+"""
+
+from repro.workloads.base import WorkloadResult
+from repro.workloads.bmp_display import BmpDisplayWorkload
+from repro.workloads.grepwl import GrepWorkload
+from repro.workloads.memcachedwl import MemcachedWorkload
+from repro.workloads.miniamr import MiniAmrWorkload
+from repro.workloads.signal_search import SignalSearchWorkload
+from repro.workloads.wordcount import WordcountWorkload
+
+__all__ = [
+    "BmpDisplayWorkload",
+    "GrepWorkload",
+    "MemcachedWorkload",
+    "MiniAmrWorkload",
+    "SignalSearchWorkload",
+    "WordcountWorkload",
+    "WorkloadResult",
+]

@@ -1,0 +1,71 @@
+"""Shared workload plumbing: results and deterministic data generation."""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class WorkloadResult:
+    """Outcome of one workload variant run."""
+
+    name: str
+    variant: str
+    runtime_ns: float
+    metrics: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def runtime_ms(self) -> float:
+        return self.runtime_ns / 1e6
+
+    def __repr__(self) -> str:
+        return (
+            f"WorkloadResult({self.name}/{self.variant}: "
+            f"{self.runtime_ms:.3f} ms, {self.metrics})"
+        )
+
+
+class DeterministicRandom:
+    """Tiny deterministic PRNG (xorshift) so workloads are reproducible
+    without seeding global state."""
+
+    def __init__(self, seed: int):
+        self._state = (seed or 1) & 0xFFFFFFFFFFFFFFFF
+
+    def next_u64(self) -> int:
+        x = self._state
+        x ^= (x << 13) & 0xFFFFFFFFFFFFFFFF
+        x ^= x >> 7
+        x ^= (x << 17) & 0xFFFFFFFFFFFFFFFF
+        self._state = x
+        return x
+
+    def randint(self, lo: int, hi: int) -> int:
+        """Uniform integer in [lo, hi]."""
+        if hi < lo:
+            raise ValueError("hi < lo")
+        return lo + self.next_u64() % (hi - lo + 1)
+
+    def random(self) -> float:
+        return self.next_u64() / 2**64
+
+    def bytes(self, n: int) -> bytes:
+        out = bytearray()
+        while len(out) < n:
+            out.extend(self.next_u64().to_bytes(8, "little"))
+        return bytes(out[:n])
+
+    def text(self, n: int) -> bytes:
+        """Printable filler text of length n."""
+        raw = self.bytes(n)
+        return bytes(97 + (b % 26) for b in raw)
+
+    def choice(self, seq):
+        return seq[self.randint(0, len(seq) - 1)]
+
+
+def cheap_digest(data: bytes) -> int:
+    """A stand-in checksum used where the workload only needs *a* digest."""
+    return zlib.crc32(data)

@@ -1,0 +1,134 @@
+"""Unit tests for interrupt coalescing (Section V-B)."""
+
+import pytest
+
+from repro.core.coalescing import CoalescingConfig, Coalescer
+from repro.sim.engine import Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+class TestConfig:
+    def test_defaults_disabled(self):
+        assert not CoalescingConfig().enabled
+
+    def test_enabled_needs_window_and_batch(self):
+        assert not CoalescingConfig(window_ns=100, max_batch=1).enabled
+        assert not CoalescingConfig(window_ns=0, max_batch=8).enabled
+        assert CoalescingConfig(window_ns=100, max_batch=8).enabled
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CoalescingConfig(window_ns=-1)
+        with pytest.raises(ValueError):
+            CoalescingConfig(max_batch=0)
+
+
+class TestDisabledMode:
+    def test_each_request_is_its_own_bundle(self, sim):
+        flushed = []
+        coalescer = Coalescer(sim, CoalescingConfig(), flushed.append)
+        for i in range(4):
+            coalescer.add(i)
+        assert flushed == [[0], [1], [2], [3]]
+        assert coalescer.bundles_flushed == 4
+
+
+class TestWindowFlush:
+    def test_flush_after_window(self, sim):
+        flushed = []
+        coalescer = Coalescer(
+            sim, CoalescingConfig(window_ns=1000, max_batch=8), flushed.append
+        )
+
+        def body():
+            coalescer.add("a")
+            yield 500
+            coalescer.add("b")
+            yield 1000
+
+        sim.run_process(body())
+        assert flushed == [["a", "b"]]
+
+    def test_requests_after_flush_start_new_bundle(self, sim):
+        flushed = []
+        coalescer = Coalescer(
+            sim, CoalescingConfig(window_ns=100, max_batch=8), flushed.append
+        )
+
+        def body():
+            coalescer.add(1)
+            yield 200  # window expires, bundle [1] flushes
+            coalescer.add(2)
+            yield 200
+
+        sim.run_process(body())
+        assert flushed == [[1], [2]]
+
+    def test_flush_time_is_window_after_first(self, sim):
+        times = []
+        coalescer = Coalescer(
+            sim,
+            CoalescingConfig(window_ns=1000, max_batch=8),
+            lambda bundle: times.append(sim.now),
+        )
+
+        def body():
+            yield 300
+            coalescer.add("x")
+            yield 2000
+
+        sim.run_process(body())
+        assert times == [1300]
+
+
+class TestBatchFlush:
+    def test_max_batch_flushes_early(self, sim):
+        flushed = []
+        coalescer = Coalescer(
+            sim, CoalescingConfig(window_ns=10_000, max_batch=3), flushed.append
+        )
+
+        def body():
+            for i in range(3):
+                coalescer.add(i)
+            yield 0
+
+        sim.run_process(body())
+        assert flushed == [[0, 1, 2]]
+
+    def test_stale_timer_does_not_double_flush(self, sim):
+        flushed = []
+        coalescer = Coalescer(
+            sim, CoalescingConfig(window_ns=1000, max_batch=2), flushed.append
+        )
+
+        def body():
+            coalescer.add(1)
+            coalescer.add(2)  # batch flush now; the timer must not re-flush
+            yield 50
+            coalescer.add(3)
+            yield 2000
+
+        sim.run_process(body())
+        assert flushed == [[1, 2], [3]]
+
+    def test_mean_bundle_size(self, sim):
+        coalescer = Coalescer(
+            sim, CoalescingConfig(window_ns=1000, max_batch=2), lambda bundle: None
+        )
+
+        def body():
+            for i in range(6):
+                coalescer.add(i)
+            yield 0
+
+        sim.run_process(body())
+        assert coalescer.mean_bundle_size == pytest.approx(2.0)
+
+    def test_mean_bundle_size_empty(self, sim):
+        coalescer = Coalescer(sim, CoalescingConfig(), lambda bundle: None)
+        assert coalescer.mean_bundle_size == 0.0

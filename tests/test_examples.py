@@ -1,0 +1,44 @@
+"""Smoke tests: every example script runs to completion and its
+internal assertions hold."""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+EXAMPLES = [
+    "quickstart",
+    "gpu_grep",
+    "memory_management",
+    "gpu_memcached",
+    "framebuffer_display",
+    "gpu_pipeline",
+]
+
+
+def run_example(name: str) -> None:
+    path = EXAMPLES_DIR / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"example_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    try:
+        spec.loader.exec_module(module)
+        module.main()
+    finally:
+        sys.modules.pop(spec.name, None)
+
+
+@pytest.mark.parametrize("name", EXAMPLES)
+def test_example_runs(name, capsys):
+    run_example(name)
+    out = capsys.readouterr().out
+    assert out.strip(), f"example {name} produced no output"
+
+
+def test_examples_dir_complete():
+    """Every example on disk is exercised by this smoke test."""
+    on_disk = {p.stem for p in EXAMPLES_DIR.glob("*.py")}
+    assert on_disk == set(EXAMPLES)

@@ -1,0 +1,124 @@
+"""Tests for the LDS (local data share) bank-conflict model."""
+
+import pytest
+
+from repro.gpu.device import Gpu, KernelLaunch
+from repro.gpu.ops import LdsRead, LdsWrite
+from repro.machine import MachineConfig
+from repro.memory.system import MemorySystem
+from repro.sim.engine import Simulator
+
+
+def make_gpu(width=32):
+    sim = Simulator()
+    config = MachineConfig(
+        num_cus=1, wavefront_slots_per_cu=4, wavefront_width=width,
+        gpu_l2_lines=64, gpu_l1_lines=16,
+    )
+    gpu = Gpu(sim, config, MemorySystem(sim, config))
+    return sim, config, gpu
+
+
+def run_kernel(sim, gpu, func, n):
+    def body():
+        yield gpu.launch(KernelLaunch(func, n, n))
+
+    sim.run_process(body())
+    return sim.now - gpu.config.kernel_launch_ns
+
+
+class TestBankConflicts:
+    def test_unit_stride_is_conflict_free(self):
+        sim, config, gpu = make_gpu()
+
+        def kern(ctx):
+            yield LdsRead(ctx.local_id * 4, 4)  # one word per bank
+
+        elapsed = run_kernel(sim, gpu, kern, 32)
+        assert elapsed == pytest.approx(config.lds_access_ns)
+
+    def test_same_bank_stride_serialises(self):
+        sim, config, gpu = make_gpu()
+        stride = config.lds_banks * config.lds_bank_bytes  # 128 B: bank 0
+
+        def kern(ctx):
+            yield LdsRead(ctx.local_id * stride, 4)
+
+        elapsed = run_kernel(sim, gpu, kern, 32)
+        assert elapsed == pytest.approx(32 * config.lds_access_ns)
+
+    def test_broadcast_same_address_is_free(self):
+        sim, config, gpu = make_gpu()
+
+        def kern(ctx):
+            yield LdsRead(0, 4)  # every lane reads the same word
+
+        elapsed = run_kernel(sim, gpu, kern, 32)
+        assert elapsed == pytest.approx(config.lds_access_ns)
+
+    def test_writes_to_same_bank_always_serialise(self):
+        sim, config, gpu = make_gpu()
+
+        def kern(ctx):
+            yield LdsWrite(0, 4)  # same word: writes cannot broadcast
+
+        elapsed = run_kernel(sim, gpu, kern, 32)
+        assert elapsed == pytest.approx(32 * config.lds_access_ns)
+
+    def test_two_way_conflict(self):
+        sim, config, gpu = make_gpu()
+        half_stride = config.lds_banks * config.lds_bank_bytes // 2  # 2 lanes/bank
+
+        def kern(ctx):
+            yield LdsRead(ctx.local_id * half_stride, 4)
+
+        elapsed = run_kernel(sim, gpu, kern, 32)
+        assert elapsed == pytest.approx(16 * config.lds_access_ns)
+
+    def test_multi_word_access_spans_banks(self):
+        sim, config, gpu = make_gpu(width=1)
+
+        def kern(ctx):
+            yield LdsRead(0, config.lds_bank_bytes * 4)  # touches 4 banks
+
+        elapsed = run_kernel(sim, gpu, kern, 1)
+        # One word in each of 4 distinct banks: no serialisation.
+        assert elapsed == pytest.approx(config.lds_access_ns)
+
+    def test_negative_access_rejected(self):
+        with pytest.raises(ValueError):
+            LdsRead(-1)
+        with pytest.raises(ValueError):
+            LdsWrite(0, -4)
+
+
+class TestLdsInReduction:
+    def test_reduction_pattern_works_functionally(self):
+        """A tree reduction using ctx.group.shared plus timed LDS ops."""
+        sim, config, gpu = make_gpu()
+        result = {}
+
+        def kern(ctx):
+            from repro.gpu.ops import Barrier, Do
+
+            shared = ctx.group.shared
+            yield LdsWrite(ctx.local_id * 4, 4)
+            yield Do(lambda: shared.__setitem__(ctx.local_id, ctx.local_id + 1))
+            yield Barrier()
+            stride = ctx.group.size // 2
+            while stride >= 1:
+                if ctx.local_id < stride:
+                    yield LdsRead((ctx.local_id + stride) * 4, 4)
+                    partial = shared[ctx.local_id] + shared[ctx.local_id + stride]
+                    yield LdsWrite(ctx.local_id * 4, 4)
+                    yield Do(lambda value=partial: shared.__setitem__(ctx.local_id, value))
+                yield Barrier()
+                stride //= 2
+            if ctx.is_group_leader:
+                result["sum"] = shared[0]
+
+        def body():
+            yield gpu.launch(KernelLaunch(kern, 32, 32))
+
+        sim.run_process(body())
+        assert result["sum"] == sum(range(1, 33))

@@ -1,0 +1,73 @@
+"""Unit tests for the machine configuration (paper Table III)."""
+
+import pytest
+
+from repro.machine import ATOMIC_LATENCY_NS, MachineConfig, paper_machine, small_machine
+
+
+class TestDefaults:
+    def test_table3_shape(self):
+        config = paper_machine()
+        assert config.cpu_cores == 4
+        assert config.cpu_freq_ghz == pytest.approx(2.7)
+        assert config.gpu_freq_ghz == pytest.approx(0.758)
+        assert config.phys_mem_bytes == 16 << 30
+
+    def test_wavefront_width_is_64(self):
+        assert paper_machine().wavefront_width == 64
+
+    def test_gpu_cycle_time(self):
+        config = paper_machine()
+        assert config.gpu_cycle_ns == pytest.approx(1 / 0.758)
+
+    def test_atomic_table_ordering(self):
+        latencies = ATOMIC_LATENCY_NS
+        assert (
+            latencies["cmp-swap"]
+            > latencies["swap"]
+            > latencies["atomic-load"]
+            > latencies["load"]
+        )
+
+
+class TestDerived:
+    def test_max_active_wavefronts(self):
+        config = MachineConfig(num_cus=8, wavefront_slots_per_cu=40)
+        assert config.max_active_wavefronts == 320
+
+    def test_max_active_workitems(self):
+        config = MachineConfig(num_cus=8, wavefront_slots_per_cu=40, wavefront_width=64)
+        assert config.max_active_workitems == 320 * 64
+
+    def test_syscall_area_one_slot_per_active_workitem(self):
+        config = paper_machine()
+        assert config.syscall_area_slots == config.max_active_workitems
+
+    def test_syscall_area_bytes_64_per_slot(self):
+        config = paper_machine()
+        assert config.syscall_area_bytes == config.syscall_area_slots * 64
+
+    def test_paper_reports_1_25_mb_area(self):
+        # The paper reports 1.25 MB of syscall area; the default machine
+        # (320 wavefront slots x 64 lanes x 64 B) reproduces it exactly.
+        config = paper_machine()
+        assert config.syscall_area_bytes == int(1.25 * (1 << 20))
+
+
+class TestValidation:
+    def test_zero_wavefront_width_rejected(self):
+        with pytest.raises(ValueError):
+            MachineConfig(wavefront_width=0)
+
+    def test_zero_cus_rejected(self):
+        with pytest.raises(ValueError):
+            MachineConfig(num_cus=0)
+
+    def test_missing_atomic_latency_rejected(self):
+        with pytest.raises(ValueError):
+            MachineConfig(atomic_latency_ns={"load": 1.0})
+
+    def test_small_machine_is_valid_and_smaller(self):
+        small = small_machine()
+        big = paper_machine()
+        assert small.max_active_workitems < big.max_active_workitems

@@ -1,0 +1,51 @@
+"""The memcached concurrency claim: CPU SETs proceed while GPU
+work-groups serve GETs against the same shared hash table."""
+
+import pytest
+
+from repro.system import System
+from repro.workloads.memcachedwl import MemcachedWorkload
+
+
+@pytest.fixture(scope="module")
+def mixed_run():
+    workload = MemcachedWorkload(
+        System(), num_buckets=4, elems_per_bucket=256, value_bytes=256,
+        num_requests=16, concurrency=4,
+    )
+    result = workload.run_concurrent_mixed(num_workgroups=4)
+    return workload, result
+
+
+class TestConcurrentMixed:
+    def test_all_sets_processed(self, mixed_run):
+        workload, result = mixed_run
+        assert result.metrics["sets"] > 0
+        for key, value in result.metrics["new_values"].items():
+            assert workload.table.get(key) == value
+
+    def test_read_your_writes_through_gpu(self, mixed_run):
+        """A GET issued after the SET ack must see the new value, even
+        though the GET is served by the GPU kernel."""
+        _workload, result = mixed_run
+        observed = result.metrics["observed_after_set"]
+        new_values = result.metrics["new_values"]
+        assert set(observed) == set(new_values)
+        for key, value in new_values.items():
+            assert observed[key] == value
+
+    def test_unraced_gets_still_correct(self, mixed_run):
+        workload, result = mixed_run
+        raced = set(result.metrics["new_values"])
+        replies = result.metrics["replies"]
+        unraced = [k for k in set(workload.request_keys) if k not in raced]
+        assert unraced, "need some unraced keys to validate"
+        for key in unraced:
+            assert replies[key] == workload.table.get(key)
+
+    def test_gpu_and_cpu_both_served(self, mixed_run):
+        workload, result = mixed_run
+        counts = workload.system.kernel.syscall_counts
+        # GPU GET path and CPU SET path both used the socket calls.
+        assert counts.get("recvfrom", 0) > 0
+        assert counts.get("sendto", 0) > 0

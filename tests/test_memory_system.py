@@ -1,0 +1,202 @@
+"""Unit tests for atomics, DRAM, buffers, and the assembled memory system."""
+
+import pytest
+
+from repro.machine import MachineConfig, small_machine
+from repro.memory.atomics import ATOMIC_OPS, AtomicCostModel
+from repro.memory.buffers import AddressAllocator, Buffer
+from repro.memory.system import MemorySystem
+from repro.sim.engine import Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+@pytest.fixture
+def mem(sim):
+    return MemorySystem(sim, small_machine())
+
+
+class TestAtomicCostModel:
+    def test_table4_ordering_holds(self):
+        model = AtomicCostModel(MachineConfig())
+        assert model.ordering_holds()
+
+    def test_table4_rows_complete(self):
+        table = AtomicCostModel(MachineConfig()).table()
+        assert set(table) == set(ATOMIC_OPS)
+        assert all(latency > 0 for latency in table.values())
+
+    def test_plain_load_cheapest(self):
+        table = AtomicCostModel(MachineConfig()).table()
+        assert table["load"] == min(table.values())
+
+    def test_cmp_swap_most_expensive(self):
+        table = AtomicCostModel(MachineConfig()).table()
+        assert table["cmp-swap"] == max(table.values())
+
+    def test_unknown_op_raises(self):
+        model = AtomicCostModel(MachineConfig())
+        with pytest.raises(KeyError):
+            model.latency("fetch-add")
+
+    def test_charge_counts(self):
+        model = AtomicCostModel(MachineConfig())
+        model.charge("swap")
+        model.charge("swap")
+        assert model.counts["swap"] == 2
+
+    def test_missing_latency_rejected(self):
+        config = MachineConfig()
+        config.atomic_latency_ns = {"load": 1.0}
+        with pytest.raises(ValueError):
+            AtomicCostModel(config)
+
+
+class TestAllocator:
+    def test_monotonic_non_overlapping(self):
+        alloc = AddressAllocator()
+        a = alloc.alloc(100)
+        b = alloc.alloc(100)
+        assert b >= a + 100
+
+    def test_alignment(self):
+        alloc = AddressAllocator(alignment=64)
+        alloc.alloc(1)
+        addr = alloc.alloc(10, align=256)
+        assert addr % 256 == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            AddressAllocator().alloc(-1)
+
+
+class TestBuffer:
+    def test_backing_storage(self):
+        buf = Buffer(0x1000, 64)
+        assert buf.size == 64
+        buf.data[0:3] = b"abc"
+        assert bytes(buf.data[0:3]) == b"abc"
+
+    def test_slice_shares_storage(self):
+        buf = Buffer(0x1000, 64)
+        view = buf.slice(16, 8)
+        view.data[0:2] = b"hi"
+        assert bytes(buf.data[16:18]) == b"hi"
+        assert view.addr == 0x1000 + 16
+
+    def test_slice_bounds_checked(self):
+        buf = Buffer(0x1000, 64)
+        with pytest.raises(ValueError):
+            buf.slice(60, 8)
+
+
+class TestMemorySystem:
+    def test_alloc_buffer(self, mem):
+        buf = mem.alloc_buffer(128)
+        assert buf.size == 128
+        assert buf.addr % 64 == 0
+
+    def test_gpu_load_l1_hit_is_cheap(self, sim, mem):
+        def body():
+            yield from mem.gpu_load(0, 0x1000, 64)
+            t_miss = sim.now
+            yield from mem.gpu_load(0, 0x1000, 64)
+            return t_miss, sim.now - t_miss
+
+        t_miss, t_hit = sim.run_process(body())
+        assert t_hit < t_miss
+
+    def test_l1s_are_private_per_cu(self, sim, mem):
+        def body():
+            yield from mem.gpu_load(0, 0x1000, 64)
+
+        sim.run_process(body())
+        assert mem.l1s[0].contains(0x1000 // 64)
+        assert not mem.l1s[1].contains(0x1000 // 64)
+
+    def test_atomic_bypasses_l1(self, sim, mem):
+        def body():
+            yield from mem.gpu_atomic("cmp-swap", 0x2000)
+
+        sim.run_process(body())
+        line = 0x2000 // 64
+        assert mem.l2.contains(line)
+        assert not mem.l1s[0].contains(line)
+
+    def test_atomic_latency_charged(self, sim, mem):
+        def body():
+            yield from mem.gpu_atomic("atomic-load", 0x40)  # l2 resident after
+            start = sim.now
+            yield from mem.gpu_atomic("atomic-load", 0x40)
+            return sim.now - start
+
+        elapsed = sim.run_process(body())
+        assert elapsed == pytest.approx(mem.atomics.latency("atomic-load"))
+
+    def test_atomic_l2_miss_moves_dram_traffic(self, sim, mem):
+        cfg = mem.config
+
+        def body():
+            for i in range(cfg.gpu_l2_lines * 2):
+                yield from mem.gpu_atomic("atomic-load", i * cfg.cacheline_bytes)
+
+        sim.run_process(body())
+        assert mem.dram.gpu_accesses > 0
+
+    def test_polled_set_within_l2_no_dram_traffic(self, sim, mem):
+        cfg = mem.config
+        lines = cfg.gpu_l2_lines // 4
+
+        def body():
+            # Warm.
+            for i in range(lines):
+                yield from mem.gpu_atomic("atomic-load", i * cfg.cacheline_bytes)
+            before = mem.dram.gpu_accesses
+            for _ in range(3):
+                for i in range(lines):
+                    yield from mem.gpu_atomic("atomic-load", i * cfg.cacheline_bytes)
+            return mem.dram.gpu_accesses - before
+
+        assert sim.run_process(body()) == 0
+
+    def test_l1_flush_range(self, sim, mem):
+        def body():
+            yield from mem.gpu_load(1, 0x4000, 256)
+            yield from mem.gpu_l1_flush_range(1, 0x4000, 256)
+
+        sim.run_process(body())
+        assert not mem.l1s[1].contains(0x4000 // 64)
+
+    def test_cpu_stream_contends_with_gpu(self, sim, mem):
+        """CPU transfers queue behind GPU DRAM traffic (shared channel)."""
+
+        def gpu_hog():
+            for i in range(50):
+                yield from mem.dram.gpu_access(4096)
+
+        def cpu_probe():
+            yield from mem.cpu_stream_access(64)
+            return sim.now
+
+        sim.process(gpu_hog())
+        probe = sim.process(cpu_probe())
+        sim.run()
+        solo = MemorySystem(Simulator(), small_machine())
+        solo_sim = solo.sim
+
+        def solo_probe():
+            yield from solo.cpu_stream_access(64)
+            return solo_sim.now
+
+        solo_time = solo_sim.run_process(solo_probe())
+        assert probe.result > solo_time
+
+    def test_bad_cu_id_raises(self, sim, mem):
+        def body():
+            yield from mem.gpu_load(99, 0, 64)
+
+        with pytest.raises(IndexError):
+            sim.run_process(body())

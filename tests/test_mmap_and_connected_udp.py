@@ -1,0 +1,128 @@
+"""Tests for file-backed mmap and connected-UDP send/recv."""
+
+import pytest
+
+from repro.machine import MachineConfig, small_machine
+from repro.memory.system import MemorySystem
+from repro.oskernel.errors import Errno, OsError
+from repro.oskernel.fs import O_RDWR
+from repro.oskernel.linux import FileMapping, LinuxKernel
+from repro.sim.engine import Simulator
+from repro.system import System
+
+
+@pytest.fixture
+def env():
+    sim = Simulator()
+    config = MachineConfig()
+    mem = MemorySystem(sim, config)
+    kernel = LinuxKernel(sim, config, mem)
+    proc = kernel.create_process("test")
+    return sim, mem, kernel, proc
+
+
+def call(env, name, *args):
+    sim, _, kernel, proc = env
+
+    def body():
+        result = yield from kernel.call(proc, name, *args)
+        return result
+
+    return sim.run_process(body())
+
+
+class TestFileMmap:
+    def test_mapping_reads_file_bytes(self, env):
+        env[2].fs.create_file("/tmp/f", b"mapped contents!")
+        fd = call(env, "open", "/tmp/f", O_RDWR)
+        mapping = call(env, "mmap", 16, fd)
+        assert isinstance(mapping, FileMapping)
+        assert bytes(mapping.view()) == b"mapped contents!"
+
+    def test_writes_through_mapping_reach_file(self, env):
+        env[2].fs.create_file("/tmp/f", b"................")
+        fd = call(env, "open", "/tmp/f", O_RDWR)
+        mapping = call(env, "mmap", 16, fd)
+        mapping.view()[0:6] = b"HELLO!"
+        assert env[2].fs.read_whole("/tmp/f").startswith(b"HELLO!")
+
+    def test_mapping_extends_short_file(self, env):
+        env[2].fs.create_file("/tmp/f", b"ab")
+        fd = call(env, "open", "/tmp/f", O_RDWR)
+        mapping = call(env, "mmap", 8, fd)
+        assert bytes(mapping.view()) == b"ab\0\0\0\0\0\0"
+
+    def test_offset_must_be_page_aligned(self, env):
+        env[2].fs.create_file("/tmp/f", b"x" * 8192)
+        fd = call(env, "open", "/tmp/f", O_RDWR)
+        with pytest.raises(OsError) as exc:
+            call(env, "mmap", 16, fd, 100)
+        assert exc.value.errno is Errno.EINVAL
+
+    def test_page_aligned_offset(self, env):
+        env[2].fs.create_file("/tmp/f", b"A" * 4096 + b"B" * 4096)
+        fd = call(env, "open", "/tmp/f", O_RDWR)
+        mapping = call(env, "mmap", 4, fd, 4096)
+        assert bytes(mapping.view()) == b"BBBB"
+
+    def test_gpu_can_mmap_a_file(self):
+        """The paper: GENESYS lets GPUs mmap any fd Linux provides."""
+        system = System(config=small_machine())
+        system.kernel.fs.create_file("/tmp/f", b"gpu sees this")
+        seen = {}
+
+        def kern(ctx):
+            fd = yield from ctx.sys.open("/tmp/f", O_RDWR)
+            mapping = yield from ctx.sys.mmap(13, fd)
+            seen["data"] = bytes(mapping.view())
+
+        def body():
+            yield system.launch(kern, 1, 1)
+
+        system.run_to_completion(body())
+        assert seen["data"] == b"gpu sees this"
+
+
+class TestConnectedUdp:
+    def test_connect_send_recv(self, env):
+        sim, mem, kernel, proc = env
+        server = call(env, "socket")
+        call(env, "bind", server, 7100)
+        client = call(env, "socket")
+        call(env, "connect", client, ("localhost", 7100))
+        buf = mem.alloc_buffer(8)
+        buf.data[:4] = b"ping"
+        assert call(env, "send", client, buf, 4) == 4
+        out = mem.alloc_buffer(8)
+        assert call(env, "recv", server, out, 8) == 4
+        assert bytes(out.data[:4]) == b"ping"
+
+    def test_send_without_connect_rejected(self, env):
+        sim, mem, kernel, proc = env
+        fd = call(env, "socket")
+        buf = mem.alloc_buffer(4)
+        with pytest.raises(OsError) as exc:
+            call(env, "send", fd, buf, 4)
+        assert exc.value.errno is Errno.EINVAL
+
+    def test_reconnect_changes_peer(self, env):
+        sim, mem, kernel, proc = env
+        first = call(env, "socket")
+        call(env, "bind", first, 7101)
+        second = call(env, "socket")
+        call(env, "bind", second, 7102)
+        client = call(env, "socket")
+        call(env, "connect", client, ("localhost", 7101))
+        call(env, "connect", client, ("localhost", 7102))
+        buf = mem.alloc_buffer(2)
+        call(env, "send", client, buf, 2)
+        first_sock = kernel._sockets[(proc.pid, first)]
+        second_sock = kernel._sockets[(proc.pid, second)]
+        assert len(second_sock.queue) == 1
+        assert len(first_sock.queue) == 0
+
+    def test_close_clears_connection_state(self, env):
+        client = call(env, "socket")
+        call(env, "connect", client, ("localhost", 1))
+        call(env, "close", client)
+        assert (env[3].pid, client) not in env[2]._connected

@@ -1,0 +1,303 @@
+"""Unit tests for the syscall dispatch table (LinuxKernel)."""
+
+import pytest
+
+from repro.machine import MachineConfig
+from repro.memory.buffers import Buffer
+from repro.memory.system import MemorySystem
+from repro.oskernel.devices import (
+    FBIOGET_FSCREENINFO,
+    FBIOGET_VSCREENINFO,
+    FBIOPUT_VSCREENINFO,
+    VarScreenInfo,
+)
+from repro.oskernel.errors import Errno, OsError
+from repro.oskernel.fs import O_APPEND, O_CREAT, O_RDONLY, O_RDWR, O_TRUNC, SEEK_CUR, SEEK_END, SEEK_SET
+from repro.oskernel.linux import LinuxKernel
+from repro.oskernel.mm import MADV_DONTNEED
+from repro.sim.engine import Simulator
+
+
+@pytest.fixture
+def env():
+    sim = Simulator()
+    config = MachineConfig()
+    mem = MemorySystem(sim, config)
+    kernel = LinuxKernel(sim, config, mem)
+    proc = kernel.create_process("test")
+    return sim, mem, kernel, proc
+
+
+def call(sim, kernel, proc, name, *args):
+    def body():
+        result = yield from kernel.call(proc, name, *args)
+        return result
+
+    return sim.run_process(body())
+
+
+class TestDispatch:
+    def test_enosys_for_unknown(self, env):
+        sim, _, kernel, proc = env
+        with pytest.raises(OsError) as exc:
+            call(sim, kernel, proc, "fork")
+        assert exc.value.errno is Errno.ENOSYS
+
+    def test_execute_converts_to_negative_errno(self, env):
+        sim, _, kernel, proc = env
+
+        def body():
+            result = yield from kernel.execute(proc, "open", ("/missing/x", 0))
+            return result
+
+        assert sim.run_process(body()) == -int(Errno.ENOENT)
+
+    def test_syscall_counts_recorded(self, env):
+        sim, _, kernel, proc = env
+        call(sim, kernel, proc, "getrusage")
+        call(sim, kernel, proc, "getrusage")
+        assert kernel.syscall_counts["getrusage"] == 2
+
+    def test_call_charges_base_cost(self, env):
+        sim, _, kernel, proc = env
+        call(sim, kernel, proc, "getrusage")
+        assert sim.now >= kernel.config.syscall_base_ns
+
+
+class TestFileSyscalls:
+    def test_open_creat_write_read_roundtrip(self, env):
+        sim, mem, kernel, proc = env
+        fd = call(sim, kernel, proc, "open", "/tmp/f", O_CREAT | O_RDWR)
+        buf = mem.alloc_buffer(16)
+        buf.data[:5] = b"tacos"
+        assert call(sim, kernel, proc, "write", fd, buf, 5) == 5
+        call(sim, kernel, proc, "lseek", fd, 0, SEEK_SET)
+        out = mem.alloc_buffer(16)
+        assert call(sim, kernel, proc, "read", fd, out, 16) == 5
+        assert bytes(out.data[:5]) == b"tacos"
+
+    def test_stateful_offset_advances(self, env):
+        sim, mem, kernel, proc = env
+        kernel.fs.create_file("/tmp/f", b"abcdef")
+        fd = call(sim, kernel, proc, "open", "/tmp/f", O_RDONLY)
+        buf = mem.alloc_buffer(3)
+        call(sim, kernel, proc, "read", fd, buf, 3)
+        assert bytes(buf.data) == b"abc"
+        call(sim, kernel, proc, "read", fd, buf, 3)
+        assert bytes(buf.data) == b"def"
+
+    def test_pread_does_not_move_offset(self, env):
+        sim, mem, kernel, proc = env
+        kernel.fs.create_file("/tmp/f", b"abcdef")
+        fd = call(sim, kernel, proc, "open", "/tmp/f", O_RDONLY)
+        buf = mem.alloc_buffer(2)
+        call(sim, kernel, proc, "pread", fd, buf, 2, 4)
+        assert bytes(buf.data) == b"ef"
+        call(sim, kernel, proc, "read", fd, buf, 2)
+        assert bytes(buf.data) == b"ab"
+
+    def test_pwrite_at_offset(self, env):
+        sim, mem, kernel, proc = env
+        kernel.fs.create_file("/tmp/f", b"xxxxxx")
+        fd = call(sim, kernel, proc, "open", "/tmp/f", O_RDWR)
+        buf = mem.alloc_buffer(2)
+        buf.data[:] = b"ZZ"
+        call(sim, kernel, proc, "pwrite", fd, buf, 2, 2)
+        assert kernel.fs.read_whole("/tmp/f") == b"xxZZxx"
+
+    def test_negative_offset_rejected(self, env):
+        sim, mem, kernel, proc = env
+        kernel.fs.create_file("/tmp/f", b"x")
+        fd = call(sim, kernel, proc, "open", "/tmp/f", O_RDWR)
+        buf = mem.alloc_buffer(1)
+        with pytest.raises(OsError) as exc:
+            call(sim, kernel, proc, "pread", fd, buf, 1, -1)
+        assert exc.value.errno is Errno.EINVAL
+
+    def test_write_readonly_rejected(self, env):
+        sim, mem, kernel, proc = env
+        kernel.fs.create_file("/tmp/f", b"x")
+        fd = call(sim, kernel, proc, "open", "/tmp/f", O_RDONLY)
+        buf = mem.alloc_buffer(1)
+        with pytest.raises(OsError) as exc:
+            call(sim, kernel, proc, "write", fd, buf, 1)
+        assert exc.value.errno is Errno.EBADF
+
+    def test_o_trunc(self, env):
+        sim, _, kernel, proc = env
+        kernel.fs.create_file("/tmp/f", b"longcontent")
+        call(sim, kernel, proc, "open", "/tmp/f", O_RDWR | O_TRUNC)
+        assert kernel.fs.read_whole("/tmp/f") == b""
+
+    def test_o_append_positions_at_end(self, env):
+        sim, mem, kernel, proc = env
+        kernel.fs.create_file("/tmp/f", b"head")
+        fd = call(sim, kernel, proc, "open", "/tmp/f", O_RDWR | O_APPEND)
+        buf = mem.alloc_buffer(4)
+        buf.data[:] = b"tail"
+        call(sim, kernel, proc, "write", fd, buf, 4)
+        assert kernel.fs.read_whole("/tmp/f") == b"headtail"
+
+    def test_lseek_whences(self, env):
+        sim, _, kernel, proc = env
+        kernel.fs.create_file("/tmp/f", b"0123456789")
+        fd = call(sim, kernel, proc, "open", "/tmp/f", O_RDONLY)
+        assert call(sim, kernel, proc, "lseek", fd, 4, SEEK_SET) == 4
+        assert call(sim, kernel, proc, "lseek", fd, 2, SEEK_CUR) == 6
+        assert call(sim, kernel, proc, "lseek", fd, -1, SEEK_END) == 9
+
+    def test_lseek_negative_result_rejected(self, env):
+        sim, _, kernel, proc = env
+        kernel.fs.create_file("/tmp/f", b"ab")
+        fd = call(sim, kernel, proc, "open", "/tmp/f", O_RDONLY)
+        with pytest.raises(OsError):
+            call(sim, kernel, proc, "lseek", fd, -5, SEEK_SET)
+
+    def test_close_frees_fd(self, env):
+        sim, mem, kernel, proc = env
+        kernel.fs.create_file("/tmp/f", b"x")
+        fd = call(sim, kernel, proc, "open", "/tmp/f", O_RDONLY)
+        call(sim, kernel, proc, "close", fd)
+        buf = mem.alloc_buffer(1)
+        with pytest.raises(OsError):
+            call(sim, kernel, proc, "read", fd, buf, 1)
+
+    def test_stdout_goes_to_terminal(self, env):
+        sim, mem, kernel, proc = env
+        buf = mem.alloc_buffer(16)
+        buf.data[:6] = b"hi tty"
+        call(sim, kernel, proc, "write", 1, buf, 6)
+        buf.data[:1] = b"\n"
+        call(sim, kernel, proc, "write", 1, buf, 1)
+        assert kernel.terminal.lines == ["hi tty"]
+
+    def test_proc_meminfo_readable(self, env):
+        sim, mem, kernel, proc = env
+        fd = call(sim, kernel, proc, "open", "/proc/meminfo", O_RDONLY)
+        buf = mem.alloc_buffer(256)
+        n = call(sim, kernel, proc, "read", fd, buf, 256)
+        assert b"MemTotal" in bytes(buf.data[:n])
+
+
+class TestNetworkSyscalls:
+    def test_udp_roundtrip(self, env):
+        sim, mem, kernel, proc = env
+        sfd = call(sim, kernel, proc, "socket")
+        call(sim, kernel, proc, "bind", sfd, 7777)
+        cfd = call(sim, kernel, proc, "socket")
+        buf = mem.alloc_buffer(8)
+        buf.data[:4] = b"ping"
+        call(sim, kernel, proc, "sendto", cfd, buf, 4, ("localhost", 7777))
+        out = mem.alloc_buffer(8)
+        n, src = call(sim, kernel, proc, "recvfrom", sfd, out, 8)
+        assert (n, bytes(out.data[:4])) == (4, b"ping")
+
+    def test_sendto_on_non_socket_rejected(self, env):
+        sim, mem, kernel, proc = env
+        kernel.fs.create_file("/tmp/f", b"")
+        fd = call(sim, kernel, proc, "open", "/tmp/f", O_RDWR)
+        with pytest.raises(OsError) as exc:
+            call(sim, kernel, proc, "sendto", fd, mem.alloc_buffer(1), 1, ("localhost", 1))
+        assert exc.value.errno is Errno.EBADF
+
+    def test_close_socket(self, env):
+        sim, _, kernel, proc = env
+        fd = call(sim, kernel, proc, "socket")
+        call(sim, kernel, proc, "close", fd)
+        with pytest.raises(OsError):
+            call(sim, kernel, proc, "bind", fd, 1234)
+
+
+class TestMemorySyscalls:
+    def test_mmap_munmap(self, env):
+        sim, _, kernel, proc = env
+        addr = call(sim, kernel, proc, "mmap", 8192)
+        assert addr % kernel.config.page_bytes == 0
+        assert call(sim, kernel, proc, "munmap", addr, 8192) == 0
+
+    def test_madvise_dontneed(self, env):
+        sim, _, kernel, proc = env
+        addr = call(sim, kernel, proc, "mmap", 8192)
+        sim.run_process(proc.address_space.touch(addr, 8192))
+        assert proc.current_rss_bytes == 8192
+        call(sim, kernel, proc, "madvise", addr, 8192, MADV_DONTNEED)
+        assert proc.current_rss_bytes == 0
+
+    def test_getrusage_reports_rss(self, env):
+        sim, _, kernel, proc = env
+        addr = call(sim, kernel, proc, "mmap", 4 * 4096)
+        sim.run_process(proc.address_space.touch(addr, 4 * 4096))
+        usage = call(sim, kernel, proc, "getrusage")
+        assert usage.ru_maxrss_kb == 16
+        assert usage.ru_minflt == 4
+
+
+class TestSignalSyscalls:
+    def test_rt_sigqueueinfo_delivers(self, env):
+        sim, _, kernel, proc = env
+        target = kernel.create_process("target")
+        call(sim, kernel, proc, "rt_sigqueueinfo", target.pid, 40, 99)
+
+        def body():
+            info = yield from target.signals.sigwaitinfo()
+            return info
+
+        info = sim.run_process(body())
+        assert (info.value, info.sender_pid) == (99, proc.pid)
+
+    def test_bad_pid_rejected(self, env):
+        sim, _, kernel, proc = env
+        with pytest.raises(OsError) as exc:
+            call(sim, kernel, proc, "rt_sigqueueinfo", 99999, 40, 0)
+        assert exc.value.errno is Errno.ESRCH
+
+
+class TestDeviceSyscalls:
+    def test_ioctl_get_var(self, env):
+        sim, _, kernel, proc = env
+        fd = call(sim, kernel, proc, "open", "/dev/fb0")
+        var = call(sim, kernel, proc, "ioctl", fd, FBIOGET_VSCREENINFO)
+        assert (var.xres, var.yres) == (1024, 768)
+
+    def test_ioctl_set_mode(self, env):
+        sim, _, kernel, proc = env
+        fd = call(sim, kernel, proc, "open", "/dev/fb0")
+        assert call(
+            sim, kernel, proc, "ioctl", fd, FBIOPUT_VSCREENINFO, VarScreenInfo(640, 480, 32)
+        ) == 0
+        fix = call(sim, kernel, proc, "ioctl", fd, FBIOGET_FSCREENINFO)
+        assert fix.line_length == 640 * 4
+
+    def test_ioctl_bad_mode_rejected(self, env):
+        sim, _, kernel, proc = env
+        fd = call(sim, kernel, proc, "open", "/dev/fb0")
+        with pytest.raises(OsError):
+            call(sim, kernel, proc, "ioctl", fd, FBIOPUT_VSCREENINFO, VarScreenInfo(123, 45, 32))
+
+    def test_ioctl_on_regular_file_rejected(self, env):
+        sim, _, kernel, proc = env
+        kernel.fs.create_file("/tmp/f", b"")
+        fd = call(sim, kernel, proc, "open", "/tmp/f", O_RDWR)
+        with pytest.raises(OsError) as exc:
+            call(sim, kernel, proc, "ioctl", fd, FBIOGET_VSCREENINFO)
+        assert exc.value.errno is Errno.ENOTTY
+
+    def test_mmap_framebuffer(self, env):
+        sim, _, kernel, proc = env
+        fd = call(sim, kernel, proc, "open", "/dev/fb0")
+        mapping = call(sim, kernel, proc, "mmap", 1024 * 768 * 4, fd)
+        mapping.array[0, 0] = 0xDEADBEEF
+        assert kernel.framebuffer.pixels[0, 0] == 0xDEADBEEF
+
+    def test_mmap_regular_file_returns_file_mapping(self, env):
+        sim, _, kernel, proc = env
+        kernel.fs.create_file("/tmp/f", b"xyz")
+        fd = call(sim, kernel, proc, "open", "/tmp/f", O_RDWR)
+        mapping = call(sim, kernel, proc, "mmap", 3, fd)
+        assert bytes(mapping.view()) == b"xyz"
+
+    def test_mmap_dynamic_file_rejected(self, env):
+        sim, _, kernel, proc = env
+        fd = call(sim, kernel, proc, "open", "/proc/meminfo", O_RDONLY)
+        with pytest.raises(OsError):
+            call(sim, kernel, proc, "mmap", 4096, fd)

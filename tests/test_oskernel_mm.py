@@ -1,0 +1,213 @@
+"""Unit tests for the virtual-memory manager: faults, madvise, swap."""
+
+import pytest
+
+from repro.machine import MachineConfig
+from repro.oskernel.cpu import CpuComplex
+from repro.oskernel.errors import Errno, OsError
+from repro.oskernel.mm import (
+    AddressSpace,
+    GpuTimeoutError,
+    MADV_DONTNEED,
+    MADV_WILLNEED,
+    PhysicalMemory,
+)
+from repro.sim.engine import Simulator
+
+PAGE = 4096
+
+
+def make_aspace(phys_pages=64, timeout_faults=1_000_000):
+    sim = Simulator()
+    config = MachineConfig(
+        phys_mem_bytes=phys_pages * PAGE, gpu_timeout_faults=timeout_faults
+    )
+    cpu = CpuComplex(sim, config)
+    physmem = PhysicalMemory(sim, config, config.phys_mem_bytes)
+    return sim, physmem, AddressSpace(sim, config, physmem, cpu, name="t")
+
+
+class TestMapping:
+    def test_mmap_returns_page_aligned(self):
+        _, _, aspace = make_aspace()
+        addr = aspace.mmap(100)
+        assert addr % PAGE == 0
+
+    def test_mmap_rounds_to_pages(self):
+        _, _, aspace = make_aspace()
+        aspace.mmap(PAGE + 1)
+        assert aspace.mapped_bytes == 2 * PAGE
+
+    def test_mmap_zero_rejected(self):
+        _, _, aspace = make_aspace()
+        with pytest.raises(OsError):
+            aspace.mmap(0)
+
+    def test_mappings_dont_overlap(self):
+        _, _, aspace = make_aspace()
+        a = aspace.mmap(10 * PAGE)
+        b = aspace.mmap(10 * PAGE)
+        assert b >= a + 10 * PAGE
+
+    def test_munmap_whole_mapping(self):
+        sim, _, aspace = make_aspace()
+        addr = aspace.mmap(4 * PAGE)
+        sim.run_process(aspace.touch(addr, 4 * PAGE))
+        aspace.munmap(addr, 4 * PAGE)
+        assert aspace.rss_bytes == 0
+        assert aspace.mapped_bytes == 0
+
+    def test_munmap_partial_rejected(self):
+        _, _, aspace = make_aspace()
+        addr = aspace.mmap(4 * PAGE)
+        with pytest.raises(OsError):
+            aspace.munmap(addr, PAGE)
+
+    def test_touch_unmapped_faults(self):
+        sim, _, aspace = make_aspace()
+
+        def body():
+            yield from aspace.touch(0x5000_0000, 10)
+
+        with pytest.raises(OsError) as exc:
+            sim.run_process(body())
+        assert exc.value.errno is Errno.EFAULT
+
+
+class TestFaulting:
+    def test_first_touch_is_minor_fault(self):
+        sim, _, aspace = make_aspace()
+        addr = aspace.mmap(2 * PAGE)
+        sim.run_process(aspace.touch(addr, 2 * PAGE))
+        assert aspace.minor_faults == 2
+        assert aspace.major_faults == 0
+        assert aspace.rss_pages == 2
+
+    def test_resident_touch_is_free(self):
+        sim, _, aspace = make_aspace()
+        addr = aspace.mmap(PAGE)
+        sim.run_process(aspace.touch(addr, PAGE))
+        before = sim.now
+        sim.run_process(aspace.touch(addr, PAGE))
+        assert sim.now == before
+        assert aspace.minor_faults == 1
+
+    def test_eviction_on_pressure(self):
+        sim, physmem, aspace = make_aspace(phys_pages=4)
+        addr = aspace.mmap(8 * PAGE)
+        sim.run_process(aspace.touch(addr, 8 * PAGE))
+        assert aspace.rss_pages == 4
+        assert physmem.evictions == 4
+
+    def test_swapped_page_retouch_is_major_fault(self):
+        sim, _, aspace = make_aspace(phys_pages=4)
+        addr = aspace.mmap(8 * PAGE)
+        sim.run_process(aspace.touch(addr, 8 * PAGE))
+        sim.run_process(aspace.touch(addr, PAGE))  # page 0 was evicted
+        assert aspace.major_faults == 1
+
+    def test_major_fault_is_slow(self):
+        sim, _, aspace = make_aspace(phys_pages=4)
+        config = aspace.config
+        addr = aspace.mmap(8 * PAGE)
+        sim.run_process(aspace.touch(addr, 8 * PAGE))
+        before = sim.now
+        sim.run_process(aspace.touch(addr, PAGE))
+        assert sim.now - before >= config.swap_in_ns
+
+    def test_lru_eviction_order(self):
+        sim, _, aspace = make_aspace(phys_pages=2)
+        addr = aspace.mmap(3 * PAGE)
+        sim.run_process(aspace.touch(addr, PAGE))              # page 0
+        sim.run_process(aspace.touch(addr + PAGE, PAGE))       # page 1
+        sim.run_process(aspace.touch(addr, PAGE))              # page 0 MRU
+        sim.run_process(aspace.touch(addr + 2 * PAGE, PAGE))   # evicts page 1
+        sim.run_process(aspace.touch(addr, PAGE))
+        assert aspace.major_faults == 0  # page 0 stayed resident
+
+    def test_gpu_watchdog_fires(self):
+        sim, _, aspace = make_aspace(phys_pages=4, timeout_faults=3)
+        addr = aspace.mmap(16 * PAGE)
+        sim.run_process(aspace.touch(addr, 16 * PAGE))
+
+        def thrash():
+            yield from aspace.touch(addr, 16 * PAGE)
+
+        with pytest.raises(GpuTimeoutError):
+            sim.run_process(thrash())
+
+    def test_fault_in_gpu_functional_path(self):
+        _, _, aspace = make_aspace()
+        addr = aspace.mmap(4 * PAGE)
+        stall, majors = aspace.fault_in_gpu(addr, 4 * PAGE)
+        assert stall > 0
+        assert majors == 0
+        assert aspace.rss_pages == 4
+
+    def test_fault_in_gpu_counts_majors(self):
+        sim, _, aspace = make_aspace(phys_pages=4)
+        addr = aspace.mmap(8 * PAGE)
+        sim.run_process(aspace.touch(addr, 8 * PAGE))
+        stall, majors = aspace.fault_in_gpu(addr, PAGE)
+        assert majors == 1
+        assert stall >= aspace.config.swap_in_ns
+
+
+class TestMadvise:
+    def test_dontneed_releases_rss(self):
+        sim, physmem, aspace = make_aspace()
+        addr = aspace.mmap(4 * PAGE)
+        sim.run_process(aspace.touch(addr, 4 * PAGE))
+        assert aspace.madvise(addr, 4 * PAGE, MADV_DONTNEED) == 0
+        assert aspace.rss_pages == 0
+        assert physmem.used_pages == 0
+
+    def test_dontneed_retouch_is_minor(self):
+        sim, _, aspace = make_aspace(phys_pages=4)
+        addr = aspace.mmap(8 * PAGE)
+        sim.run_process(aspace.touch(addr, 4 * PAGE))
+        aspace.madvise(addr, 4 * PAGE, MADV_DONTNEED)
+        sim.run_process(aspace.touch(addr, 4 * PAGE))
+        # Dropped (not swapped) pages fault back in as minor faults.
+        assert aspace.major_faults == 0
+
+    def test_willneed_is_noop(self):
+        sim, _, aspace = make_aspace()
+        addr = aspace.mmap(PAGE)
+        sim.run_process(aspace.touch(addr, PAGE))
+        assert aspace.madvise(addr, PAGE, MADV_WILLNEED) == 0
+        assert aspace.rss_pages == 1
+
+    def test_unknown_advice_rejected(self):
+        _, _, aspace = make_aspace()
+        addr = aspace.mmap(PAGE)
+        with pytest.raises(OsError):
+            aspace.madvise(addr, PAGE, 99)
+
+    def test_unaligned_address_rejected(self):
+        _, _, aspace = make_aspace()
+        addr = aspace.mmap(PAGE)
+        with pytest.raises(OsError):
+            aspace.madvise(addr + 1, PAGE, MADV_DONTNEED)
+
+    def test_unmapped_range_rejected(self):
+        _, _, aspace = make_aspace()
+        with pytest.raises(OsError):
+            aspace.madvise(0x7777_000 * PAGE, PAGE, MADV_DONTNEED)
+
+
+class TestAccounting:
+    def test_peak_rss_tracked(self):
+        sim, _, aspace = make_aspace()
+        addr = aspace.mmap(4 * PAGE)
+        sim.run_process(aspace.touch(addr, 4 * PAGE))
+        aspace.madvise(addr, 4 * PAGE, MADV_DONTNEED)
+        assert aspace.peak_rss_pages == 4
+        assert aspace.rss_pages == 0
+
+    def test_rss_series_records(self):
+        sim, _, aspace = make_aspace()
+        addr = aspace.mmap(2 * PAGE)
+        sim.run_process(aspace.touch(addr, 2 * PAGE))
+        series = aspace.rss_series()
+        assert series[-1][1] == 2 * PAGE

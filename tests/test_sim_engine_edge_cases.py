@@ -1,0 +1,212 @@
+"""Engine edge cases: interrupts vs waits, exception propagation,
+combinator corners, resource handoff under interruption."""
+
+import pytest
+
+from repro.sim.engine import (
+    AllOf,
+    AnyOf,
+    Interrupted,
+    SimulationError,
+    Simulator,
+)
+from repro.sim.resources import Resource, Store
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+class TestInterruptedWaits:
+    def test_interrupt_while_waiting_on_event(self, sim):
+        event = sim.event()
+
+        def waiter():
+            try:
+                yield event
+            except Interrupted:
+                return "interrupted"
+
+        def interrupter(target):
+            yield 10
+            target.interrupt()
+
+        proc = sim.process(waiter())
+        sim.process(interrupter(proc))
+        sim.run()
+        assert proc.result == "interrupted"
+        # The event can still fire later without resurrecting the waiter.
+        event.succeed("late")
+        sim.run()
+        assert proc.result == "interrupted"
+
+    def test_interrupt_while_joining_process(self, sim):
+        def slow():
+            yield 1_000_000
+
+        def joiner(target):
+            try:
+                yield target
+            except Interrupted as intr:
+                return ("freed", intr.cause)
+
+        slow_proc = sim.process(slow())
+        join_proc = sim.process(joiner(slow_proc))
+
+        def interrupter():
+            yield 5
+            join_proc.interrupt("timeout")
+
+        sim.process(interrupter())
+        sim.run()
+        assert join_proc.result == ("freed", "timeout")
+        assert slow_proc.finished  # the slow process ran to completion
+
+    def test_interrupt_then_continue_working(self, sim):
+        event = sim.event()
+        log = []
+
+        def worker():
+            try:
+                yield event
+            except Interrupted:
+                log.append(("interrupted", sim.now))
+            yield 100
+            log.append(("done", sim.now))
+
+        proc = sim.process(worker())
+
+        def interrupter():
+            yield 10
+            proc.interrupt()
+
+        sim.process(interrupter())
+        sim.run()
+        assert log == [("interrupted", 10), ("done", 110)]
+
+
+class TestExceptionPropagation:
+    def test_process_exception_surfaces_from_run(self, sim):
+        def broken():
+            yield 1
+            raise RuntimeError("kernel bug")
+
+        sim.process(broken())
+        with pytest.raises(RuntimeError, match="kernel bug"):
+            sim.run()
+
+    def test_exception_before_first_yield(self, sim):
+        def broken():
+            raise ValueError("early")
+            yield 1  # pragma: no cover
+
+        sim.process(broken())
+        with pytest.raises(ValueError, match="early"):
+            sim.run()
+
+
+class TestCombinatorCorners:
+    def test_allof_empty_list(self, sim):
+        def body():
+            values = yield AllOf([])
+            return values
+
+        # An empty AllOf can never fire; run_process reports deadlock.
+        with pytest.raises(SimulationError, match="deadlock"):
+            sim.run_process(body())
+
+    def test_anyof_same_event_twice(self, sim):
+        event = sim.event()
+
+        def body():
+            idx, value = yield AnyOf([event, event])
+            return idx, value
+
+        def trigger():
+            yield 5
+            event.succeed("x")
+
+        proc = sim.process(body())
+        sim.process(trigger())
+        sim.run()
+        assert proc.result[1] == "x"
+
+    def test_nested_combinators(self, sim):
+        def child(duration, value):
+            yield duration
+            return value
+
+        def body():
+            first_pair = AllOf([sim.process(child(5, "a")), sim.process(child(7, "b"))])
+            values = yield first_pair
+            idx, value = yield AnyOf([sim.process(child(3, "c")), sim.process(child(9, "d"))])
+            return values, value
+
+        values, fastest = sim.run_process(body())
+        assert values == ["a", "b"]
+        assert fastest == "c"
+
+
+class TestResourceUnderChurn:
+    def test_fifo_survives_many_waves(self, sim):
+        resource = Resource(sim, 2)
+        order = []
+
+        def worker(tag):
+            yield resource.acquire()
+            order.append(tag)
+            yield 10
+            resource.release()
+
+        for tag in range(20):
+            sim.process(worker(tag))
+        sim.run()
+        assert order == list(range(20))
+        assert resource.available == 2
+
+    def test_store_interleaved_producers_consumers(self, sim):
+        store = Store(sim)
+        consumed = []
+
+        def producer(start):
+            for i in range(5):
+                store.put(start + i)
+                yield 3
+
+        def consumer():
+            for _ in range(10):
+                item = yield store.get()
+                consumed.append(item)
+
+        sim.process(producer(0))
+        sim.process(producer(100))
+        sim.process(consumer())
+        sim.run()
+        assert sorted(consumed) == sorted(list(range(5)) + list(range(100, 105)))
+        assert len(store) == 0
+
+    def test_when_nonempty_spurious_wakeup_is_safe(self, sim):
+        store = Store(sim)
+        log = []
+
+        def poller():
+            yield store.when_nonempty()
+            # By now a competing getter may have taken the item.
+            log.append(("woke", len(store)))
+
+        def getter():
+            item = yield store.get()
+            log.append(("got", item))
+
+        sim.process(getter())
+        sim.process(poller())
+
+        def producer():
+            yield 5
+            store.put("only")
+
+        sim.process(producer())
+        sim.run()
+        assert ("got", "only") in log
+        assert ("woke", 0) in log

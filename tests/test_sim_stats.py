@@ -1,0 +1,153 @@
+"""Unit tests for counters, trace recorders, and utilisation tracking."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.stats import Counter, TraceRecorder, UtilizationTracker
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+class TestCounter:
+    def test_starts_at_zero(self):
+        assert Counter("x").value == 0
+
+    def test_add(self):
+        counter = Counter()
+        counter.add()
+        counter.add(5)
+        assert counter.value == 6
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Counter().add(-1)
+
+
+class TestTraceRecorder:
+    def test_records_at_sim_time(self, sim):
+        trace = TraceRecorder(sim)
+
+        def body():
+            trace.record("k", 1.0)
+            yield 10
+            trace.record("k", 2.0)
+
+        sim.run_process(body())
+        assert trace.series("k") == [(0, 1.0), (10, 2.0)]
+
+    def test_last_and_default(self, sim):
+        trace = TraceRecorder(sim)
+        assert trace.last("missing", default=-1) == -1
+        trace.record("k", 9.0)
+        assert trace.last("k") == 9.0
+
+    def test_keys_sorted(self, sim):
+        trace = TraceRecorder(sim)
+        trace.record("b", 1)
+        trace.record("a", 1)
+        assert trace.keys() == ["a", "b"]
+
+    def test_binned_mean(self, sim):
+        trace = TraceRecorder(sim)
+
+        def body():
+            trace.record("k", 10)
+            yield 5
+            trace.record("k", 20)
+            yield 10
+            trace.record("k", 100)
+
+        sim.run_process(body())
+        series = trace.binned_mean("k", bin_ns=10)
+        assert series[0] == (0, 15.0)   # samples at t=0 and t=5
+        assert series[1] == (10, 100.0)  # sample at t=15
+
+    def test_binned_mean_positive_bin(self, sim):
+        trace = TraceRecorder(sim)
+        with pytest.raises(ValueError):
+            trace.binned_mean("k", bin_ns=0)
+
+
+class TestUtilizationTracker:
+    def test_validation(self, sim):
+        with pytest.raises(ValueError):
+            UtilizationTracker(sim, 0)
+
+    def test_fully_busy(self, sim):
+        tracker = UtilizationTracker(sim, 1)
+
+        def body():
+            tracker.busy()
+            yield 100
+            tracker.idle()
+
+        sim.run_process(body())
+        assert tracker.average() == pytest.approx(1.0)
+
+    def test_half_busy(self, sim):
+        tracker = UtilizationTracker(sim, 2)
+
+        def body():
+            tracker.busy()
+            yield 100
+            tracker.idle()
+
+        sim.run_process(body())
+        assert tracker.average() == pytest.approx(0.5)
+
+    def test_busy_idle_sequence(self, sim):
+        tracker = UtilizationTracker(sim, 1)
+
+        def body():
+            tracker.busy()
+            yield 50
+            tracker.idle()
+            yield 50
+
+        sim.run_process(body())
+        assert tracker.average() == pytest.approx(0.5)
+
+    def test_over_busy_raises(self, sim):
+        tracker = UtilizationTracker(sim, 1)
+        tracker.busy()
+        with pytest.raises(RuntimeError):
+            tracker.busy()
+
+    def test_idle_without_busy_raises(self, sim):
+        tracker = UtilizationTracker(sim, 1)
+        with pytest.raises(RuntimeError):
+            tracker.idle()
+
+    def test_average_since(self, sim):
+        tracker = UtilizationTracker(sim, 1)
+
+        def body():
+            yield 100
+            tracker.busy()
+            yield 100
+            tracker.idle()
+
+        sim.run_process(body())
+        assert tracker.average(since=100) == pytest.approx(1.0)
+        assert tracker.average() == pytest.approx(0.5)
+
+    def test_binned_series(self, sim):
+        tracker = UtilizationTracker(sim, 1)
+
+        def body():
+            tracker.busy()
+            yield 10
+            tracker.idle()
+            yield 10
+
+        sim.run_process(body())
+        series = tracker.binned_series(bin_ns=10)
+        assert series[0][1] == pytest.approx(1.0)
+        assert series[1][1] == pytest.approx(0.0)
+
+    def test_empty_average_is_zero(self, sim):
+        tracker = UtilizationTracker(sim, 4)
+        assert tracker.average() == 0.0

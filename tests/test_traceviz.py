@@ -1,0 +1,77 @@
+"""Tests for the Chrome-trace exporter."""
+
+import json
+
+import pytest
+
+from repro.machine import small_machine
+from repro.system import System
+from repro.traceviz import export_chrome_trace, write_chrome_trace
+
+
+@pytest.fixture
+def ran_system():
+    system = System(config=small_machine())
+    system.kernel.fs.create_file("/data/f", b"t" * 8192, on_disk=True)
+    system.kernel.fs.resolve("/data/f").cached_pages.clear()
+    buf = system.memsystem.alloc_buffer(64)
+
+    def kern(ctx):
+        fd = yield from ctx.sys.open("/data/f")
+        yield from ctx.sys.pread(fd, buf, 64, 0)
+        yield from ctx.sys.close(fd)
+
+    def body():
+        yield system.launch(kern, 2, 2)
+
+    system.run_to_completion(body())
+    return system
+
+
+class TestExport:
+    def test_syscall_events_present(self, ran_system):
+        trace = export_chrome_trace(ran_system)
+        syscall_events = [
+            e for e in trace["traceEvents"] if e.get("cat") == "syscall"
+        ]
+        names = {e["name"] for e in syscall_events}
+        assert {"open", "pread", "close"} <= names
+        assert len(syscall_events) == ran_system.genesys.syscalls_completed
+
+    def test_events_have_positive_durations(self, ran_system):
+        trace = export_chrome_trace(ran_system)
+        for event in trace["traceEvents"]:
+            if event.get("ph") == "X":
+                assert event["dur"] > 0
+                assert event["ts"] >= 0
+
+    def test_counter_tracks_present(self, ran_system):
+        trace = export_chrome_trace(ran_system)
+        counters = {e["name"] for e in trace["traceEvents"] if e.get("ph") == "C"}
+        assert "cpu_utilization" in counters
+        assert "gpu_slot_utilization" in counters
+        assert "disk_throughput_MBps" in counters
+
+    def test_timestamps_within_run(self, ran_system):
+        trace = export_chrome_trace(ran_system)
+        end_us = ran_system.now / 1000.0
+        for event in trace["traceEvents"]:
+            if "ts" in event and event.get("ph") != "M":
+                assert 0 <= event["ts"] <= end_us + 1
+
+    def test_metadata(self, ran_system):
+        trace = export_chrome_trace(ran_system)
+        assert trace["otherData"]["syscalls"] == ran_system.genesys.syscalls_completed
+        assert trace["otherData"]["simulated_ns"] == ran_system.now
+
+    def test_write_roundtrip(self, ran_system, tmp_path):
+        path = tmp_path / "run.trace.json"
+        written = write_chrome_trace(ran_system, str(path))
+        loaded = json.loads(path.read_text())
+        assert loaded["otherData"] == written["otherData"]
+        assert len(loaded["traceEvents"]) == len(written["traceEvents"])
+
+    def test_empty_run_exports_cleanly(self):
+        system = System(config=small_machine())
+        trace = export_chrome_trace(system)
+        assert isinstance(trace["traceEvents"], list)
