@@ -1,0 +1,13 @@
+"""Wall-clock performance harness for the simulation core.
+
+Run from the repo root::
+
+    PYTHONPATH=src python -m benchmarks.perf            # full run
+    PYTHONPATH=src python -m benchmarks.perf --smoke    # CI smoke mode
+
+Emits ``BENCH_sim_perf.json`` at the repo root: engine microbenchmarks
+plus two end-to-end experiment drivers, with wall-clock seconds and the
+simulated time they covered.  Every benchmark uses only APIs that exist
+in the seed engine, so the same harness can be pointed at any revision
+(``PYTHONPATH=<other-checkout>/src``) to regenerate comparison numbers.
+"""

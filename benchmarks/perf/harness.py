@@ -1,0 +1,240 @@
+"""Engine microbenchmarks and end-to-end drivers (see package docstring).
+
+Each benchmark returns ``(wall_seconds, simulated_ns, meta)``.  The
+microbenchmarks hammer one engine mechanism each; the end-to-end drivers
+run real GENESYS workloads so heap churn, combinators, the slot
+protocol, and the memory-system cost model are all on the profile.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Callable, Dict, Tuple
+
+from repro.sim.engine import AllOf, AnyOf, Interrupted, Simulator
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_sim_perf.json"
+REFERENCE_FILE = Path(__file__).resolve().parent / "seed_reference.json"
+
+BenchResult = Tuple[float, float, dict]
+
+
+def _timed(sim: Simulator) -> Tuple[float, float]:
+    start = time.perf_counter()
+    sim.run()
+    return time.perf_counter() - start, sim.now
+
+
+# -- engine microbenchmarks ---------------------------------------------------
+
+
+def bench_timer_churn(scale: float) -> BenchResult:
+    """Many processes sleeping in interleaved short delays: heap traffic."""
+    procs = max(8, int(64 * scale))
+    ticks = max(50, int(2000 * scale))
+    sim = Simulator()
+
+    def sleeper(step):
+        for _ in range(ticks):
+            yield float(step)
+
+    for i in range(procs):
+        sim.process(sleeper(1 + (i % 7)))
+    wall, sim_ns = _timed(sim)
+    return wall, sim_ns, {"procs": procs, "ticks": ticks}
+
+
+def bench_event_fanout(scale: float) -> BenchResult:
+    """One event with many waiters, triggered round after round."""
+    waiters = max(16, int(256 * scale))
+    rounds = max(10, int(400 * scale))
+    sim = Simulator()
+
+    def driver():
+        for _ in range(rounds):
+            event = sim.event()
+
+            def waiter(ev=event):
+                yield ev
+
+            for _ in range(waiters):
+                sim.process(waiter())
+            yield 1.0
+            event.succeed()
+            yield 1.0
+
+    sim.process(driver())
+    wall, sim_ns = _timed(sim)
+    return wall, sim_ns, {"waiters": waiters, "rounds": rounds}
+
+
+def bench_anyof_interrupt(scale: float) -> BenchResult:
+    """Interrupt a process waiting in a wide AnyOf: waiter discard cost."""
+    width = max(64, int(2048 * scale))
+    rounds = max(10, int(200 * scale))
+    sim = Simulator()
+    events = [sim.event() for _ in range(width)]
+
+    def victim():
+        while True:
+            try:
+                yield AnyOf(events)
+            except Interrupted:
+                pass
+
+    def interrupter(target):
+        for _ in range(rounds):
+            yield 1.0
+            target.interrupt()
+
+    # The victim re-arms after the last interrupt and stays blocked on
+    # events that never fire; run() simply drains the heap and returns.
+    sim.process(interrupter(sim.process(victim())))
+    wall, sim_ns = _timed(sim)
+    return wall, sim_ns, {"fanout": width, "rounds": rounds}
+
+
+def bench_combinator_tree(scale: float) -> BenchResult:
+    """AllOf over process joins, nested under AnyOf: combinator churn."""
+    rounds = max(20, int(600 * scale))
+    width = 16
+    sim = Simulator()
+
+    def child(duration):
+        yield duration
+        return duration
+
+    def driver():
+        for r in range(rounds):
+            children = [sim.process(child(1.0 + (i % 5))) for i in range(width)]
+            yield AllOf(children)
+            racers = [sim.process(child(1.0 + (i % 3))) for i in range(width)]
+            yield AnyOf(racers)
+
+    sim.process(driver())
+    wall, sim_ns = _timed(sim)
+    return wall, sim_ns, {"rounds": rounds, "width": width}
+
+
+# -- end-to-end drivers -------------------------------------------------------
+
+
+def bench_grep_genesys(scale: float) -> BenchResult:
+    """Figure 13a shape: GPU grep over files with work-item pread calls."""
+    from repro.system import System
+    from repro.workloads.grepwl import GrepWorkload
+
+    num_files = max(4, int(24 * scale))
+    file_bytes = 65536 if scale >= 1.0 else 16384
+    start = time.perf_counter()
+    system = System()
+    workload = GrepWorkload(system, num_files=num_files, file_bytes=file_bytes)
+    result = workload.run_genesys()
+    wall = time.perf_counter() - start
+    return wall, result.runtime_ns, {
+        "num_files": num_files,
+        "file_bytes": file_bytes,
+        "files_matched": len(result.metrics.get("files_matched", [])),
+    }
+
+
+def bench_memcached_genesys(scale: float) -> BenchResult:
+    """Figure 15 shape: GPU memcached lookups via GENESYS networking."""
+    from repro.system import System
+    from repro.workloads.memcachedwl import MemcachedWorkload
+
+    num_requests = max(8, int(64 * scale))
+    start = time.perf_counter()
+    system = System()
+    workload = MemcachedWorkload(system, num_requests=num_requests)
+    result = workload.run_genesys()
+    wall = time.perf_counter() - start
+    return wall, result.runtime_ns, {"num_requests": num_requests}
+
+
+MICRO: Dict[str, Callable[[float], BenchResult]] = {
+    "micro_timer_churn": bench_timer_churn,
+    "micro_event_fanout": bench_event_fanout,
+    "micro_anyof_interrupt": bench_anyof_interrupt,
+    "micro_combinator_tree": bench_combinator_tree,
+}
+
+END_TO_END: Dict[str, Callable[[float], BenchResult]] = {
+    "e2e_grep_genesys": bench_grep_genesys,
+    "e2e_memcached_genesys": bench_memcached_genesys,
+}
+
+
+def run_suite(smoke: bool = False, repeat: int = 3) -> dict:
+    scale = 0.1 if smoke else 1.0
+    repeat = 1 if smoke else max(1, repeat)
+    results: Dict[str, dict] = {}
+    for name, fn in {**MICRO, **END_TO_END}.items():
+        best_wall = None
+        sim_ns = None
+        meta: dict = {}
+        for _ in range(repeat):
+            wall, sim_ns, meta = fn(scale)
+            best_wall = wall if best_wall is None else min(best_wall, wall)
+        results[name] = {
+            "wall_s": round(best_wall, 6),
+            "sim_ns": sim_ns,
+            "meta": meta,
+        }
+    report = {
+        "schema": 1,
+        "mode": "smoke" if smoke else "full",
+        "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "repeat": repeat,
+        "results": results,
+    }
+    reference = _load_reference()
+    if reference is not None and not smoke:
+        speedups = {}
+        for name, entry in results.items():
+            ref_wall = reference.get("results", {}).get(name, {}).get("wall_s")
+            if ref_wall and entry["wall_s"] > 0:
+                speedups[name] = round(ref_wall / entry["wall_s"], 2)
+        report["reference"] = {
+            "label": reference.get("label"),
+            "results": reference.get("results"),
+        }
+        report["speedup_vs_reference"] = speedups
+    return report
+
+
+def _load_reference() -> dict | None:
+    if not REFERENCE_FILE.exists():
+        return None
+    try:
+        return json.loads(REFERENCE_FILE.read_text())
+    except (OSError, ValueError):
+        return None
+
+
+def main(argv=None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description="simulation-core perf harness")
+    parser.add_argument("--smoke", action="store_true", help="tiny sizes for CI")
+    parser.add_argument("--repeat", type=int, default=3, help="take best of N")
+    parser.add_argument(
+        "--output", default=str(DEFAULT_OUTPUT), help="where to write the JSON report"
+    )
+    args = parser.parse_args(argv)
+    report = run_suite(smoke=args.smoke, repeat=args.repeat)
+    Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
+    for name, entry in report["results"].items():
+        speedup = report.get("speedup_vs_reference", {}).get(name)
+        suffix = f"  ({speedup}x vs seed)" if speedup else ""
+        print(f"{name:28s} {entry['wall_s']:9.4f}s  sim={entry['sim_ns']:.0f}ns{suffix}")
+    print(f"wrote {args.output}")
+    return 0

@@ -54,6 +54,52 @@ class SyscallHandle:
         return bool(completion and completion.triggered)
 
 
+class _SlotOps:
+    """Pre-built op objects for one work-item's fixed syscall slot.
+
+    The slot protocol yields the same op sequence on every invocation
+    (same addresses, same latencies); op objects are immutable to the
+    executor, so building them once per work-item makes the claim and
+    poll loops allocation-free without changing what is yielded — every
+    poll still issues its atomic-load through the L2/DRAM cost model.
+    """
+
+    __slots__ = (
+        "slot",
+        "claim_cas",
+        "try_claim",
+        "poll_sleep",
+        "populate_write",
+        "publish_swap",
+        "set_ready",
+        "note_issued",
+        "sendmsg",
+        "raise_irq",
+        "poll_load",
+        "read_state",
+        "get_completion",
+        "consume",
+    )
+
+    def __init__(self, genesys: "Genesys", slot: Slot, hw_id: int, cfg) -> None:
+        self.slot = slot
+        self.claim_cas = Atomic("cmp-swap", slot.addr)
+        self.try_claim = Do(slot.try_claim)
+        self.poll_sleep = Sleep(cfg.poll_interval_ns)
+        self.populate_write = MemWrite(slot.addr, cfg.cacheline_bytes)
+        self.publish_swap = Atomic("swap", slot.addr)
+        self.set_ready = Do(slot.set_ready)
+        self.note_issued = {
+            g: Do(lambda g=g: genesys.note_issued(g)) for g in Granularity
+        }
+        self.sendmsg = Sleep(cfg.sendmsg_ns)
+        self.raise_irq = Do(lambda: genesys.raise_interrupt(hw_id))
+        self.poll_load = Atomic("atomic-load", slot.addr)
+        self.read_state = Do(lambda: slot.state)
+        self.get_completion = Do(lambda: slot.completion)
+        self.consume = Do(slot.consume)
+
+
 class DeviceApi:
     def __init__(self, genesys: "Genesys", ctx: "WorkItemCtx", wavefront: "Wavefront"):
         self._genesys = genesys
@@ -61,6 +107,7 @@ class DeviceApi:
         self._wavefront = wavefront
         self._config = genesys.config
         self._seq = 0
+        self._ops: Optional[_SlotOps] = None
 
     # -- the generic entry point ----------------------------------------------
 
@@ -159,8 +206,15 @@ class DeviceApi:
         granularity: Granularity,
     ) -> Generator:
         genesys = self._genesys
-        cfg = self._config
-        slot = genesys.area.slot_for(self._wavefront.hw_id, self._ctx.lane)
+        ops = self._ops
+        if ops is None:
+            ops = self._ops = _SlotOps(
+                genesys,
+                genesys.area.slot_for(self._wavefront.hw_id, self._ctx.lane),
+                self._wavefront.hw_id,
+                self._config,
+            )
+        slot = ops.slot
         request = SyscallRequest(
             name, args, blocking, genesys.host_process, issued_at=None
         )
@@ -168,11 +222,11 @@ class DeviceApi:
         # Claim: cmp-swap until the slot is FREE (a previous non-blocking
         # call of ours may still be in flight — invocation is delayed).
         while True:
-            yield Atomic("cmp-swap", slot.addr)
-            claimed = yield Do(slot.try_claim)
+            yield ops.claim_cas
+            claimed = yield ops.try_claim
             if claimed:
                 break
-            yield Sleep(cfg.poll_interval_ns)
+            yield ops.poll_sleep
 
         # Consumer calls hand GPU-written buffers to the CPU: flush the
         # non-coherent L1 so the CPU sees the data (Section VI).
@@ -183,32 +237,32 @@ class DeviceApi:
 
         # Populate the 64-byte slot, then publish with an atomic swap.
         yield Do(lambda: slot.populate(request))
-        yield MemWrite(slot.addr, cfg.cacheline_bytes)
-        yield Atomic("swap", slot.addr)
-        yield Do(slot.set_ready)
-        yield Do(lambda: genesys.note_issued(granularity))
+        yield ops.populate_write
+        yield ops.publish_swap
+        yield ops.set_ready
+        yield ops.note_issued[granularity]
 
         # Interrupt the CPU (s_sendmsg scalar instruction).
-        yield Sleep(cfg.sendmsg_ns)
-        yield Do(lambda: genesys.raise_interrupt(self._wavefront.hw_id))
+        yield ops.sendmsg
+        yield ops.raise_irq
 
         if not blocking:
             return SyscallHandle(slot, request)
 
         if wait is WaitMode.POLL:
             while True:
-                yield Atomic("atomic-load", slot.addr)
-                state = yield Do(lambda: slot.state)
+                yield ops.poll_load
+                state = yield ops.read_state
                 if state is SlotState.FINISHED:
                     break
-                yield Sleep(cfg.poll_interval_ns)
+                yield ops.poll_sleep
         else:
-            completion = yield Do(lambda: slot.completion)
+            completion = yield ops.get_completion
             yield WaitAll([completion])
 
         # Consume the result and free the slot (FINISHED -> FREE).
-        yield Atomic("swap", slot.addr)
-        result = yield Do(slot.consume)
+        yield ops.publish_swap
+        result = yield ops.consume
         return result
 
     # -- POSIX-named conveniences ------------------------------------------------

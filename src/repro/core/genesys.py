@@ -31,7 +31,7 @@ from repro.machine import MachineConfig
 from repro.memory.system import MemorySystem
 from repro.oskernel.linux import LinuxKernel
 from repro.oskernel.process import OsProcess
-from repro.sim.engine import Simulator
+from repro.sim.engine import Event, Simulator
 
 
 class GenesysError(RuntimeError):
@@ -70,6 +70,7 @@ class Genesys:
         self.coalescer = Coalescer(sim, self.coalescing, flush_fn=self._enqueue_scan)
         self._scan_suppressed: set = set()
         self.outstanding = 0
+        self._all_complete: Optional[Event] = None
         self.invocation_counts: Dict[Granularity, int] = {g: 0 for g in Granularity}
         self.interrupts_sent = 0
         self.syscalls_completed = 0
@@ -173,6 +174,9 @@ class Genesys:
                     )
                 slot.finish(result)
                 self.outstanding -= 1
+                if self.outstanding == 0 and self._all_complete is not None:
+                    event, self._all_complete = self._all_complete, None
+                    event.succeed()
                 self.syscalls_completed += 1
                 self.completion_log.append(
                     (request.name, hw_id, started_at, self.sim.now)
@@ -180,15 +184,40 @@ class Genesys:
 
     # -- host-side services --------------------------------------------------
 
+    def _when_no_outstanding(self) -> Event:
+        """An event that fires when ``outstanding`` next reaches zero."""
+        if self.outstanding == 0:
+            event = self.sim.event(name="genesys-drained")
+            event.succeed()
+            return event
+        if self._all_complete is None:
+            self._all_complete = self.sim.event(name="genesys-drained")
+        return self._all_complete
+
     def drain(self) -> Generator:
         """Process body: wait until all issued GPU syscalls completed.
 
         The paper's Section IX: a host-side call that must run before
         process termination because non-blocking GPU syscalls can outlive
         the GPU thread (and even the kernel) that issued them.
+
+        Event-driven: sleeps on completion events instead of ticking, but
+        re-checks on the historical 1 µs polling grid (anchored at the
+        call, advanced by repeated addition exactly as the busy-wait loop
+        did) so observed completion times are bit-identical.
         """
-        while self.outstanding > 0 or self.linux.workqueue.outstanding > 0:
-            yield 1000.0
+        workqueue = self.linux.workqueue
+        sim = self.sim
+        next_tick = sim.now
+        while self.outstanding > 0 or workqueue.outstanding > 0:
+            if self.outstanding > 0:
+                yield self._when_no_outstanding()
+            else:
+                yield workqueue.when_idle()
+            while next_tick < sim.now:
+                next_tick += 1000.0
+            if next_tick > sim.now:
+                yield sim.wake_at(next_tick, name="drain-grid")
 
     def stats(self) -> dict:
         return {

@@ -169,9 +169,29 @@ class SyscallArea:
         self.base_addr = memsystem.alloc(
             self.num_slots * self.stride, align=config.cacheline_bytes
         )
-        self.slots: List[Slot] = [
-            Slot(sim, i, self.base_addr + i * self.stride) for i in range(self.num_slots)
-        ]
+        # Slots are materialised on first use: a default machine reserves
+        # 40960 of them but a typical run touches a handful, and every
+        # untouched slot is indistinguishable from a FREE one.  Addresses
+        # are a pure function of the index, so laziness is unobservable.
+        self._slots: List[Optional[Slot]] = [None] * self.num_slots
+
+    @property
+    def slots(self) -> List[Slot]:
+        """All slots, materialising any not yet touched.
+
+        Intended for whole-area instrumentation and invariant checks;
+        the simulation paths use :meth:`slot_for` / :meth:`slots_of`,
+        which only materialise what they return.
+        """
+        return [self._slot_at(i) for i in range(self.num_slots)]
+
+    def _slot_at(self, index: int) -> Slot:
+        slot = self._slots[index]
+        if slot is None:
+            slot = self._slots[index] = Slot(
+                self.sim, index, self.base_addr + index * self.stride
+            )
+        return slot
 
     @property
     def total_bytes(self) -> int:
@@ -183,12 +203,12 @@ class SyscallArea:
             raise IndexError(f"hardware wavefront id {hw_wavefront_id} out of range")
         if not 0 <= lane < self.width:
             raise IndexError(f"lane {lane} out of range")
-        return self.slots[hw_wavefront_id * self.width + lane]
+        return self._slot_at(hw_wavefront_id * self.width + lane)
 
     def slots_of(self, hw_wavefront_id: int) -> List[Slot]:
         """The 64 (wavefront-width) slots one CPU scan task examines."""
         start = hw_wavefront_id * self.width
-        return self.slots[start : start + self.width]
+        return [self._slot_at(i) for i in range(start, start + self.width)]
 
     def shares_cacheline(self, slot: Slot) -> bool:
         """Whether this slot's line holds other slots (packed layout)."""

@@ -36,7 +36,12 @@ if TYPE_CHECKING:  # pragma: no cover
 
 
 def all_events(sim: Simulator, events: Sequence[Event]) -> Event:
-    """Combine events into one that fires when all have fired."""
+    """Combine events into one that fires when all have fired.
+
+    Uses direct callback registration on the children — no watcher
+    process, generator, or completion event per watched item.  A failing
+    child fails the combined event.
+    """
     pending = [e for e in events if not e.triggered]
     combined = sim.event(name="all-events")
     if not pending:
@@ -44,14 +49,18 @@ def all_events(sim: Simulator, events: Sequence[Event]) -> Event:
         return combined
     state = {"remaining": len(pending)}
 
-    def watch(event: Event) -> Generator:
-        yield event
+    def child_done(value, exc) -> None:
+        if combined.triggered:
+            return
+        if exc is not None:
+            combined.fail(exc)
+            return
         state["remaining"] -= 1
         if state["remaining"] == 0:
             combined.succeed()
 
     for event in pending:
-        sim.process(watch(event), name="all-events-watch")
+        event._add_callback(child_done)
     return combined
 
 
@@ -111,14 +120,16 @@ class Wavefront:
         """Process body: drive all lanes to completion."""
         cfg = self.gpu.config
         mem = self.gpu.memsystem
+        # Live/runnable lane lists are maintained incrementally (in lane
+        # order) and only rebuilt when a lane finishes, blocks, or wakes —
+        # the steady-state step loop allocates no per-step lane lists.
+        live = [lane for lane in self.lanes if not lane.finished]
+        runnable = [lane for lane in live if lane.blocked_on is None]
         try:
-            while True:
-                live = [lane for lane in self.lanes if not lane.finished]
-                if not live:
-                    return
-                runnable = [lane for lane in live if lane.blocked_on is None]
+            while live:
                 if not runnable:
                     yield from self._wait_for_wake(live)
+                    runnable = [lane for lane in live if lane.blocked_on is None]
                     continue
 
                 self.steps += 1
@@ -130,9 +141,11 @@ class Wavefront:
                 atomic_ops: List[Atomic] = []
                 flush_ops: List[L1Flush] = []
                 lds_ops: List[Op] = []
+                lanes_changed = False
                 for lane in runnable:
                     op = self._step_lane(lane)
                     if op is None:
+                        lanes_changed = True  # lane finished
                         continue
                     if isinstance(op, Compute):
                         compute_ns = max(compute_ns, op.cycles * cfg.gpu_cycle_ns)
@@ -140,19 +153,21 @@ class Wavefront:
                         compute_ns = max(compute_ns, op.duration)
                     elif isinstance(op, (MemRead, MemWrite)):
                         mem_ops.append(op)
-                    elif isinstance(op, (LdsRead, LdsWrite)):
-                        lds_ops.append(op)
-                    elif isinstance(op, Atomic):
-                        atomic_ops.append(op)
-                    elif isinstance(op, L1Flush):
-                        flush_ops.append(op)
                     elif isinstance(op, Do):
                         lane.inbox = op.action()
+                    elif isinstance(op, Atomic):
+                        atomic_ops.append(op)
+                    elif isinstance(op, (LdsRead, LdsWrite)):
+                        lds_ops.append(op)
+                    elif isinstance(op, L1Flush):
+                        flush_ops.append(op)
                     elif isinstance(op, Barrier):
                         lane.blocked_on = self.group.arrive_barrier()
+                        lanes_changed = True
                     elif isinstance(op, WaitAll):
                         lane.blocked_on = all_events(self.sim, op.events)
                         lane.needs_resume = True
+                        lanes_changed = True
                     else:
                         raise TypeError(f"work-item yielded non-op {op!r}")
 
@@ -169,6 +184,9 @@ class Wavefront:
                     yield from mem.gpu_atomic(aop.kind, aop.addr)
                 for fop in flush_ops:
                     yield from mem.gpu_l1_flush_range(self.cu_id, fop.addr, fop.size)
+                if lanes_changed:
+                    live = [lane for lane in live if not lane.finished]
+                    runnable = [lane for lane in live if lane.blocked_on is None]
         finally:
             self.gpu.wavefront_finished(self)
 

@@ -10,10 +10,10 @@ dispatch delay per task and competing for CPU cores through whatever
 
 from __future__ import annotations
 
-from typing import Callable, Generator, List
+from typing import Callable, Generator, List, Optional
 
 from repro.machine import MachineConfig
-from repro.sim.engine import Process, Simulator
+from repro.sim.engine import Event, Process, Simulator
 from repro.sim.resources import Store
 
 
@@ -32,6 +32,7 @@ class WorkQueue:
         self._tasks = Store(sim, name=f"wq:{name}")
         self.submitted = 0
         self.completed = 0
+        self._idle_event: Optional[Event] = None
         self._workers: List[Process] = [
             sim.process(self._worker_loop(i), name=f"{name}/{i}")
             for i in range(self.num_workers)
@@ -56,8 +57,36 @@ class WorkQueue:
             yield self.config.workqueue_dispatch_ns
             yield from task_factory()
             self.completed += 1
+            if self.submitted == self.completed and self._idle_event is not None:
+                event, self._idle_event = self._idle_event, None
+                event.succeed()
+
+    def when_idle(self) -> Event:
+        """An event that fires when no submitted task remains unfinished.
+
+        Already-triggered if the queue is idle now; otherwise shared by
+        all waiters and fired by the worker that completes the last task.
+        """
+        if self.outstanding == 0:
+            event = self.sim.event(name=f"wq:{self.name}-idle")
+            event.succeed()
+            return event
+        if self._idle_event is None:
+            self._idle_event = self.sim.event(name=f"wq:{self.name}-idle")
+        return self._idle_event
 
     def quiesce(self) -> Generator:
-        """Process body: wait until no submitted task remains unfinished."""
+        """Process body: wait until no submitted task remains unfinished.
+
+        Event-driven, but observation instants stay on the historical
+        1 µs polling grid (anchored at the call) so simulated completion
+        times are unchanged from the busy-wait implementation.
+        """
+        sim = self.sim
+        next_tick = sim.now
         while self.outstanding > 0:
-            yield 1000.0
+            yield self.when_idle()
+            while next_tick < sim.now:
+                next_tick += 1000.0
+            if next_tick > sim.now:
+                yield sim.wake_at(next_tick, name="quiesce-grid")

@@ -15,12 +15,33 @@ resume it:
 Processes may raise :class:`Interrupted` at a yield point if another
 process calls :meth:`Process.interrupt`; this powers the halt-resume
 wavefront model.
+
+Internals are event-driven and allocation-lean: combinators register
+direct callbacks on their children instead of spawning one watcher
+process per item, waiter bookkeeping is O(1) amortised (tombstones plus
+periodic compaction), and :class:`Timer` provides a cancellable wakeup
+so pollers can sleep until a state change instead of ticking.  A failed
+child event (:meth:`Event.fail`) propagates its exception to processes
+waiting on an enclosing ``AllOf``/``AnyOf`` rather than crashing the
+simulation driver.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Any, Generator, Iterable, List, Optional
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Delay",
+    "Event",
+    "Interrupted",
+    "Process",
+    "SimulationError",
+    "Simulator",
+    "Timer",
+]
 
 
 class SimulationError(RuntimeError):
@@ -60,9 +81,14 @@ class Event:
     until :meth:`succeed` (or :meth:`fail`) is called, at which point all
     waiters resume with the trigger value.  Triggering twice is an error;
     yielding an already-triggered event resumes immediately.
+
+    Besides process waiters, an event carries lightweight *callbacks*
+    (:meth:`_add_callback`) invoked synchronously at trigger time — the
+    mechanism combinators and resource wrappers use to avoid spawning a
+    watcher process per watched item.
     """
 
-    __slots__ = ("sim", "_value", "_exc", "triggered", "_waiters", "name")
+    __slots__ = ("sim", "_value", "_exc", "triggered", "_waiters", "_callbacks", "_ndead", "name")
 
     def __init__(self, sim: "Simulator", name: str = ""):
         self.sim = sim
@@ -70,7 +96,9 @@ class Event:
         self.triggered = False
         self._value: Any = None
         self._exc: Optional[BaseException] = None
-        self._waiters: List["Process"] = []
+        self._waiters: List[Optional["Process"]] = []
+        self._callbacks: List[Callable[[Any, Optional[BaseException]], None]] = []
+        self._ndead = 0
 
     @property
     def value(self) -> Any:
@@ -81,9 +109,19 @@ class Event:
             raise SimulationError(f"event {self.name!r} triggered twice")
         self.triggered = True
         self._value = value
-        for proc in self._waiters:
-            self.sim._schedule(0, proc, value=value)
-        self._waiters.clear()
+        waiters = self._waiters
+        if waiters:
+            self._waiters = []
+            self._ndead = 0
+            schedule = self.sim._schedule
+            for proc in waiters:
+                if proc is not None:
+                    schedule(0, proc, value=value)
+        callbacks = self._callbacks
+        if callbacks:
+            self._callbacks = []
+            for callback in callbacks:
+                callback(value, None)
         return self
 
     def fail(self, exc: BaseException) -> "Event":
@@ -91,29 +129,115 @@ class Event:
             raise SimulationError(f"event {self.name!r} triggered twice")
         self.triggered = True
         self._exc = exc
-        for proc in self._waiters:
-            self.sim._schedule(0, proc, exc=exc)
-        self._waiters.clear()
+        waiters = self._waiters
+        if waiters:
+            self._waiters = []
+            self._ndead = 0
+            schedule = self.sim._schedule
+            for proc in waiters:
+                if proc is not None:
+                    schedule(0, proc, exc=exc)
+        callbacks = self._callbacks
+        if callbacks:
+            self._callbacks = []
+            for callback in callbacks:
+                callback(None, exc)
         return self
 
     def _add_waiter(self, proc: "Process") -> None:
         if self.triggered:
-            if self._exc is not None:
-                self.sim._schedule(0, proc, exc=self._exc)
-            else:
-                self.sim._schedule(0, proc, value=self._value)
+            self.sim._schedule(0, proc, value=self._value, exc=self._exc)
         else:
+            proc._wait_index = len(self._waiters)
             self._waiters.append(proc)
 
     def _discard_waiter(self, proc: "Process") -> None:
-        try:
-            self._waiters.remove(proc)
+        waiters = self._waiters
+        index = proc._wait_index
+        if 0 <= index < len(waiters) and waiters[index] is proc:
+            # O(1) tombstone; a process waits on at most one event, so the
+            # recorded index is authoritative.
+            waiters[index] = None
+            self._ndead += 1
+            if self._ndead > 16 and self._ndead * 2 >= len(waiters):
+                self._compact()
+            return
+        try:  # pragma: no cover - defensive fallback
+            waiters.remove(proc)
         except ValueError:
             pass
+
+    def _compact(self) -> None:
+        live = [proc for proc in self._waiters if proc is not None]
+        for index, proc in enumerate(live):
+            proc._wait_index = index
+        self._waiters = live
+        self._ndead = 0
+
+    def _add_callback(self, callback: Callable[[Any, Optional[BaseException]], None]) -> None:
+        """Invoke ``callback(value, exc)`` at trigger time (immediately if
+        the event already triggered)."""
+        if self.triggered:
+            callback(self._value, self._exc)
+        else:
+            self._callbacks.append(callback)
 
     def __repr__(self) -> str:
         state = "triggered" if self.triggered else "pending"
         return f"Event({self.name!r}, {state})"
+
+
+class _TimerHandle:
+    """Heap-resident callback cell; ``fn = None`` marks cancellation."""
+
+    __slots__ = ("fn",)
+
+    def __init__(self, fn: Optional[Callable[[], None]]):
+        self.fn = fn
+
+
+class Timer:
+    """Cancellable one-shot timer.
+
+    ``timer.event`` triggers with ``value`` once ``delay`` nanoseconds
+    have elapsed — unless :meth:`cancel` runs first, in which case the
+    event never fires and the (lazily tombstoned) heap entry no longer
+    advances the clock when popped.  This lets a poller sleep until
+    either a state-change event or its next tick without leaking
+    clock-stretching wakeups when the state change wins.
+    """
+
+    __slots__ = ("sim", "event", "_handle")
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None, name: str = "timer"):
+        if delay < 0:
+            raise ValueError(f"negative timer delay: {delay}")
+        self.sim = sim
+        self.event = Event(sim, name=name)
+        event = self.event
+
+        def fire() -> None:
+            if not event.triggered:
+                event.succeed(value)
+
+        self._handle = sim.call_later(delay, fire)
+
+    @property
+    def cancelled(self) -> bool:
+        return self._handle.fn is None and not self.event.triggered
+
+    def cancel(self) -> None:
+        """Stop the timer; a no-op if it already fired."""
+        self._handle.fn = None
+
+    def __repr__(self) -> str:
+        if self.event.triggered:
+            state = "fired"
+        elif self._handle.fn is None:
+            state = "cancelled"
+        else:
+            state = "pending"
+        return f"Timer({self.event.name!r}, {state})"
 
 
 class AllOf:
@@ -150,6 +274,7 @@ class Process:
         "result",
         "_completion",
         "_waiting_on",
+        "_wait_index",
         "_interruptible",
     )
 
@@ -161,6 +286,7 @@ class Process:
         self.result: Any = None
         self._completion = Event(sim, name=f"done:{self.name}")
         self._waiting_on: Optional[Event] = None
+        self._wait_index = -1
         self._interruptible = True
 
     @property
@@ -189,7 +315,16 @@ class Process:
 
 
 class _Condition:
-    """Internal helper joining AllOf/AnyOf children into one event."""
+    """Internal helper joining AllOf/AnyOf children into one event.
+
+    Registers a direct callback on each child instead of spawning a
+    watcher process per item (the seed engine's approach), so an N-wide
+    combinator costs N closure registrations rather than N processes,
+    N generators, and N completion events.  A failing child fails the
+    joined event, propagating the exception to the waiting process.
+    """
+
+    __slots__ = ("event", "mode", "values", "remaining")
 
     def __init__(self, sim: "Simulator", items: List[Any], mode: str):
         self.event = Event(sim, name=f"cond:{mode}")
@@ -200,22 +335,41 @@ class _Condition:
             self._watch(sim, idx, item)
 
     def _watch(self, sim: "Simulator", idx: int, item: Any) -> None:
-        def waiter() -> Generator:
-            value = yield item
+        def child_done(value: Any, exc: Optional[BaseException]) -> None:
+            event = self.event
+            if event.triggered:
+                return
+            if exc is not None:
+                event.fail(exc)
+                return
             self.values[idx] = value
             self.remaining -= 1
-            if self.event.triggered:
-                return
             if self.mode == "any":
-                self.event.succeed((idx, value))
+                event.succeed((idx, value))
             elif self.remaining == 0:
-                self.event.succeed(list(self.values))
+                event.succeed(list(self.values))
 
-        sim.process(waiter(), name=f"cond-watch-{idx}")
+        if isinstance(item, (int, float)):
+            item = Delay(item)
+        if isinstance(item, Delay):
+            # Live no-op after the condition fires: popping the entry at
+            # expiry still advances the clock, exactly as the seed
+            # engine's sleeping watcher process did.
+            sim.call_later(item.duration, lambda: child_done(None, None))
+        elif isinstance(item, (Event, Process)):
+            target = item if isinstance(item, Event) else item._completion
+            target._add_callback(child_done)
+        elif isinstance(item, (AllOf, AnyOf)):
+            nested_mode = "all" if isinstance(item, AllOf) else "any"
+            _Condition(sim, item.items, nested_mode).event._add_callback(child_done)
+        else:
+            raise SimulationError(f"condition item {item!r} is not waitable")
 
 
 class Simulator:
     """The discrete-event simulator: clock + event heap + process driver."""
+
+    __slots__ = ("now", "_heap", "_seq", "_active")
 
     def __init__(self):
         self.now: float = 0
@@ -235,6 +389,38 @@ class Simulator:
         self._seq += 1
         heapq.heappush(self._heap, (self.now + delay, self._seq, proc, value, exc))
 
+    def call_later(self, delay: float, fn: Callable[[], None]) -> _TimerHandle:
+        """Run ``fn()`` after ``delay`` ns without spawning a process.
+
+        Returns a handle whose ``fn`` may be set to ``None`` to cancel;
+        cancelled entries neither run nor advance the clock when popped.
+        """
+        handle = _TimerHandle(fn)
+        self._seq += 1
+        heapq.heappush(self._heap, (self.now + delay, self._seq, None, handle, None))
+        return handle
+
+    def call_at(self, when: float, fn: Callable[[], None]) -> _TimerHandle:
+        """Run ``fn()`` at absolute time ``when`` (clamped to now).
+
+        Unlike ``call_later(when - now, fn)`` this is exact: the heap
+        stores absolute times, so no floating-point round-trip through a
+        relative delay occurs.  Pollers converted to event waits use it
+        to land back on their historical observation grid bit-exactly.
+        """
+        if when < self.now:
+            when = self.now
+        handle = _TimerHandle(fn)
+        self._seq += 1
+        heapq.heappush(self._heap, (when, self._seq, None, handle, None))
+        return handle
+
+    def wake_at(self, when: float, name: str = "wake-at") -> Event:
+        """An event that triggers at absolute simulated time ``when``."""
+        event = Event(self, name=name)
+        self.call_at(when, lambda: event.succeed())
+        return event
+
     def process(self, generator: Generator, name: str = "") -> Process:
         """Spawn ``generator`` as a new process starting at the current time."""
         proc = Process(self, generator, name=name)
@@ -248,10 +434,22 @@ class Simulator:
     def timeout(self, duration: float) -> Delay:
         return Delay(duration)
 
+    def timer(self, delay: float, value: Any = None, name: str = "timer") -> Timer:
+        """A cancellable wakeup: ``timer.event`` fires after ``delay`` ns."""
+        return Timer(self, delay, value=value, name=name)
+
     # -- execution -----------------------------------------------------
 
     def _step(self) -> None:
         when, _seq, proc, value, exc = heapq.heappop(self._heap)
+        if proc is None:
+            # Timer/callback entry.  A cancelled one (fn is None) is a
+            # tombstone: skipped without touching the clock.
+            fn = value.fn
+            if fn is not None:
+                self.now = when
+                fn()
+            return
         if proc.finished:
             return
         self.now = when
@@ -278,9 +476,13 @@ class Simulator:
             proc._completion.succeed(result)
 
     def _wait_on(self, proc: Process, target: Any) -> None:
-        if isinstance(target, (int, float)):
-            target = Delay(target)
-        if isinstance(target, Delay):
+        cls = target.__class__
+        if cls is int or cls is float:
+            # The hot path: a plain numeric delay, scheduled directly.
+            self._seq += 1
+            heapq.heappush(self._heap, (self.now + target, self._seq, proc, None, None))
+            return
+        if cls is Delay:
             self._schedule(target.duration, proc)
         elif isinstance(target, Event):
             proc._waiting_on = target
@@ -296,6 +498,9 @@ class Simulator:
             cond = _Condition(self, target.items, mode="any")
             proc._waiting_on = cond.event
             cond.event._add_waiter(proc)
+        elif isinstance(target, (int, float)):
+            # Numeric subclasses (e.g. bool) take the slow path.
+            self._schedule(target, proc)
         else:
             raise SimulationError(f"process {proc.name!r} yielded {target!r}")
 
@@ -305,13 +510,18 @@ class Simulator:
         With ``until`` set, stops once the clock would pass that time
         (the clock is left at ``until``).
         """
-        while self._heap:
-            when = self._heap[0][0]
-            if until is not None and when > until:
+        heap = self._heap
+        step = self._step
+        if until is None:
+            while heap:
+                step()
+            return self.now
+        while heap:
+            if heap[0][0] > until:
                 self.now = until
                 return self.now
-            self._step()
-        if until is not None and until > self.now:
+            step()
+        if until > self.now:
             self.now = until
         return self.now
 

@@ -45,12 +45,23 @@ class HashTable:
         self.value_bytes = value_bytes
         self.buckets: List[List[Tuple[bytes, bytes]]] = [[] for _ in range(num_buckets)]
         self.keys: List[bytes] = []
+        total = num_buckets * elems_per_bucket
+        if value_bytes % 8 == 0:
+            # Exactly ``total`` values are drawn across both fill phases,
+            # and 8-aligned draws waste no PRNG tail bytes — so one bulk
+            # draw sliced sequentially yields the identical value stream
+            # far faster than per-element calls.
+            pool = rng.bytes(total * value_bytes)
+            offsets = iter(range(0, total * value_bytes, value_bytes))
+            next_value = lambda: pool[(o := next(offsets)) : o + value_bytes]
+        else:
+            next_value = lambda: rng.bytes(value_bytes)
         count = 0
-        while count < num_buckets * elems_per_bucket:
+        while count < total:
             key = b"key%08d" % count
             bucket = self.bucket_of(key)
             if len(self.buckets[bucket]) < elems_per_bucket:
-                self.buckets[bucket].append((key, rng.bytes(value_bytes)))
+                self.buckets[bucket].append((key, next_value()))
                 self.keys.append(key)
             count += 1
         # Top up under-full buckets so occupancy is uniform.
@@ -60,7 +71,7 @@ class HashTable:
                 key = b"alt%08d" % extra
                 extra += 1
                 if self.bucket_of(key) == self.buckets.index(bucket_list):
-                    bucket_list.append((key, rng.bytes(value_bytes)))
+                    bucket_list.append((key, next_value()))
 
     def bucket_of(self, key: bytes) -> int:
         return zlib.crc32(key) % self.num_buckets
