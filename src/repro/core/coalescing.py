@@ -6,12 +6,21 @@ system call"; two knobs — a time window and a maximum batch size — are
 exposed through sysfs on the real system and through
 :class:`CoalescingConfig` here.  Coalescing trades latency for
 throughput and implicitly serialises the bundled calls on one worker.
+
+Both knobs are policy-hook decision points (``coalesce.window`` /
+``coalesce.batch``): the config value is the *default* each decision
+starts from — which is what the sysfs ``/sys/genesys/*`` files write —
+and an attached policy program may override it per bundle.  A sysfs
+write and an attached ``fixed(v)`` program therefore meet at the same
+decision point and produce identical behaviour (tested against the
+Figure 10 sensitivity points).
 """
 
 from __future__ import annotations
 
 from typing import Any, Callable, Generator, List, Optional
 
+from repro.probes.tracepoints import ProbeRegistry
 from repro.sim.engine import Simulator
 
 
@@ -40,7 +49,10 @@ class Coalescer:
     """Accumulates interrupt payloads into bundles and flushes them.
 
     A bundle flushes when the time window since its first member expires
-    or when it reaches ``max_batch`` members, whichever is first.
+    or when it reaches the batch limit, whichever is first.  Window and
+    batch are decided per bundle: the configured values unless a policy
+    program attached to ``coalesce.window`` / ``coalesce.batch``
+    overrides them.
     """
 
     def __init__(
@@ -48,30 +60,61 @@ class Coalescer:
         sim: Simulator,
         config: CoalescingConfig,
         flush_fn: Callable[[List[Any]], None],
+        probes: Optional[ProbeRegistry] = None,
     ):
         self.sim = sim
         self.config = config
         self.flush_fn = flush_fn
         self._bundle: List[Any] = []
         self._bundle_seq = 0
+        self._bundle_batch = config.max_batch
         self.bundles_flushed = 0
         self.requests_seen = 0
+        registry = probes if probes is not None else ProbeRegistry(sim)
+        self.tp_flush = registry.tracepoint(
+            "coalesce.flush", ("batch_size",), "a coalesced bundle became one task"
+        )
+        self.hook_window = registry.hook(
+            "coalesce.window",
+            ("window_ns",),
+            "override the coalescing window (ns) for the bundle being opened",
+        )
+        self.hook_batch = registry.hook(
+            "coalesce.batch",
+            ("max_batch",),
+            "override the max batch size for the bundle being opened",
+        )
 
     def add(self, payload: Any) -> None:
         """Add one interrupt payload (called from the handler)."""
         self.requests_seen += 1
-        if not self.config.enabled:
-            self.flush_fn([payload])
-            self.bundles_flushed += 1
-            return
-        self._bundle.append(payload)
-        if len(self._bundle) == 1:
-            self.sim.process(self._window_timer(self._bundle_seq), name="coalesce-timer")
-        if len(self._bundle) >= self.config.max_batch:
+        if not self._bundle:
+            # Opening a (potential) bundle: decide its window and batch.
+            window = self.config.window_ns
+            batch = self.config.max_batch
+            if self.hook_window.active:
+                window = self.hook_window.decide(window)
+            if self.hook_batch.active:
+                batch = self.hook_batch.decide(batch)
+            if not (window > 0 and batch > 1):
+                # Coalescing disabled: every request is its own task.
+                self.flush_fn([payload])
+                self.bundles_flushed += 1
+                if self.tp_flush.enabled:
+                    self.tp_flush.fire(1)
+                return
+            self._bundle_batch = batch
+            self._bundle.append(payload)
+            self.sim.process(
+                self._window_timer(self._bundle_seq, window), name="coalesce-timer"
+            )
+        else:
+            self._bundle.append(payload)
+        if len(self._bundle) >= self._bundle_batch:
             self._flush()
 
-    def _window_timer(self, seq: int) -> Generator:
-        yield self.config.window_ns
+    def _window_timer(self, seq: int, window_ns: float) -> Generator:
+        yield window_ns
         # Only flush if this timer's bundle is still the open one.
         if seq == self._bundle_seq and self._bundle:
             self._flush()
@@ -80,6 +123,8 @@ class Coalescer:
         bundle, self._bundle = self._bundle, []
         self._bundle_seq += 1
         self.bundles_flushed += 1
+        if self.tp_flush.enabled:
+            self.tp_flush.fire(len(bundle))
         self.flush_fn(bundle)
 
     @property

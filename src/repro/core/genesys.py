@@ -29,9 +29,17 @@ from repro.gpu.hierarchy import WorkItemCtx
 from repro.gpu.wavefront import Wavefront
 from repro.machine import MachineConfig
 from repro.memory.system import MemorySystem
+from repro.oskernel.errors import Errno, OsError
 from repro.oskernel.linux import LinuxKernel
 from repro.oskernel.process import OsProcess
+from repro.probes.tracepoints import ProbeRegistry
 from repro.sim.engine import Event, Simulator
+
+#: Sanity ceilings for the sysfs coalescing knobs: a window beyond ten
+#: simulated seconds or a batch beyond the whole syscall area is a typo,
+#: not a tuning choice.
+MAX_WINDOW_NS = 10_000_000_000.0
+MAX_BATCH = 65536
 
 
 class GenesysError(RuntimeError):
@@ -58,6 +66,7 @@ class Genesys:
         host_process: OsProcess,
         coalescing: Optional[CoalescingConfig] = None,
         slot_stride_bytes: int = 64,
+        probes: Optional[ProbeRegistry] = None,
     ):
         self.sim = sim
         self.config = config
@@ -65,9 +74,27 @@ class Genesys:
         self.gpu = gpu
         self.memsystem = memsystem
         self.host_process = host_process
+        self.probes = probes if probes is not None else ProbeRegistry(sim)
         self.area = SyscallArea(sim, config, memsystem, slot_stride_bytes)
         self.coalescing = coalescing or CoalescingConfig()
-        self.coalescer = Coalescer(sim, self.coalescing, flush_fn=self._enqueue_scan)
+        self.coalescer = Coalescer(
+            sim, self.coalescing, flush_fn=self._enqueue_scan, probes=self.probes
+        )
+        self.tp_submit = self.probes.tracepoint(
+            "syscall.submit",
+            ("granularity",),
+            "a GPU work-item published a READY syscall request",
+        )
+        self.tp_dispatch = self.probes.tracepoint(
+            "syscall.dispatch",
+            ("name", "hw_id"),
+            "a worker flipped a slot READY -> PROCESSING",
+        )
+        self.tp_complete = self.probes.tracepoint(
+            "syscall.complete",
+            ("name", "hw_id", "service_ns"),
+            "a syscall finished servicing; service_ns = PROCESSING time",
+        )
         self._scan_suppressed: set = set()
         self.outstanding = 0
         self._all_complete: Optional[Event] = None
@@ -84,17 +111,55 @@ class Genesys:
     def _register_sysfs(self) -> None:
         """Expose the coalescing knobs through sysfs (Section VI:
         "GENESYS uses Linux's sysfs interface to communicate coalescing
-        parameters") — readable and writable as ordinary files."""
+        parameters") — readable and writable as ordinary files.
+
+        The knobs are clients of the ``coalesce.window`` /
+        ``coalesce.batch`` policy hooks: a validated write updates the
+        default those decision points start from, and any attached
+        policy program may still override it per bundle.  Malformed
+        writes fail with EINVAL exactly as a real sysfs store would.
+        """
         fs = self.linux.fs
         if not fs.exists("/sys/genesys"):
             fs.mkdir("/sys/genesys")
         coalescing = self.coalescing
 
         def set_window(raw: bytes) -> None:
-            coalescing.window_ns = float(raw.strip())
+            text = raw.strip()
+            try:
+                value = float(text)
+            except (ValueError, UnicodeDecodeError):
+                raise OsError(
+                    Errno.EINVAL, f"coalescing_window_ns: not a number: {text!r}"
+                ) from None
+            if value != value or value < 0:  # NaN or negative
+                raise OsError(
+                    Errno.EINVAL, f"coalescing_window_ns: must be >= 0, got {value!r}"
+                )
+            if value > MAX_WINDOW_NS:
+                raise OsError(
+                    Errno.EINVAL,
+                    f"coalescing_window_ns: {value!r} exceeds {MAX_WINDOW_NS:.0f}",
+                )
+            coalescing.window_ns = value
 
         def set_batch(raw: bytes) -> None:
-            coalescing.max_batch = max(1, int(raw.strip()))
+            text = raw.strip()
+            try:
+                value = int(text)
+            except (ValueError, UnicodeDecodeError):
+                raise OsError(
+                    Errno.EINVAL, f"coalescing_max_batch: not an integer: {text!r}"
+                ) from None
+            if value < 1:
+                raise OsError(
+                    Errno.EINVAL, f"coalescing_max_batch: must be >= 1, got {value}"
+                )
+            if value > MAX_BATCH:
+                raise OsError(
+                    Errno.EINVAL, f"coalescing_max_batch: {value} exceeds {MAX_BATCH}"
+                )
+            coalescing.max_batch = value
 
         fs.add_dynamic_file(
             "/sys/genesys/coalescing_window_ns",
@@ -117,6 +182,8 @@ class Genesys:
     def note_issued(self, granularity: Granularity) -> None:
         self.outstanding += 1
         self.invocation_counts[granularity] += 1
+        if self.tp_submit.enabled:
+            self.tp_submit.fire(granularity.value)
 
     def raise_interrupt(self, hw_wavefront_id: int) -> None:
         """Step 2: GPU interrupts the CPU (called at GPU time via a Do op).
@@ -158,6 +225,8 @@ class Genesys:
                     continue
                 request = slot.start_processing()
                 started_at = self.sim.now
+                if self.tp_dispatch.enabled:
+                    self.tp_dispatch.fire(request.name, hw_id)
                 yield from cpu.run(self.config.syscall_base_ns)
                 result = yield from self.linux.execute(
                     request.proc, request.name, request.args
@@ -181,6 +250,10 @@ class Genesys:
                 self.completion_log.append(
                     (request.name, hw_id, started_at, self.sim.now)
                 )
+                if self.tp_complete.enabled:
+                    self.tp_complete.fire(
+                        request.name, hw_id, self.sim.now - started_at
+                    )
 
     # -- host-side services --------------------------------------------------
 

@@ -11,8 +11,16 @@ from __future__ import annotations
 
 from typing import List, Optional
 
+from repro.probes.tracepoints import NULL_TRACEPOINT
+
 
 class ComputeUnit:
+    #: Inert defaults so standalone CUs pay one attribute check per
+    #: alloc/release; :class:`~repro.gpu.device.Gpu` rebinds these to
+    #: the machine's ``gpu.slots.*`` tracepoints.
+    tp_alloc = NULL_TRACEPOINT
+    tp_release = NULL_TRACEPOINT
+
     def __init__(self, cu_id: int, num_slots: int):
         if num_slots < 1:
             raise ValueError("CU needs at least one wavefront slot")
@@ -31,6 +39,8 @@ class ComputeUnit:
         if count > len(self._free):
             return None
         taken, self._free = self._free[:count], self._free[count:]
+        if self.tp_alloc.enabled:
+            self.tp_alloc.fire(self.cu_id, count)
         return taken
 
     def release_slot(self, slot_id: int) -> None:
@@ -39,6 +49,8 @@ class ComputeUnit:
         if slot_id in self._free:
             raise RuntimeError(f"double release of slot {slot_id} on CU {self.cu_id}")
         self._free.append(slot_id)
+        if self.tp_release.enabled:
+            self.tp_release.fire(self.cu_id, slot_id)
 
     def __repr__(self) -> str:
         return f"ComputeUnit({self.cu_id}, free={self.free_slots}/{self.num_slots})"

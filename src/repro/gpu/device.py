@@ -20,6 +20,7 @@ from repro.gpu.hierarchy import KernelInstance, WorkGroup, WorkItemCtx
 from repro.gpu.wavefront import Wavefront
 from repro.machine import MachineConfig
 from repro.memory.system import MemorySystem
+from repro.probes.tracepoints import ProbeRegistry
 from repro.sim.engine import Event, Process, Simulator
 from repro.sim.stats import UtilizationTracker
 
@@ -47,14 +48,40 @@ class KernelLaunch:
 class Gpu:
     """The simulated GPU device."""
 
-    def __init__(self, sim: Simulator, config: MachineConfig, memsystem: MemorySystem):
+    def __init__(
+        self,
+        sim: Simulator,
+        config: MachineConfig,
+        memsystem: MemorySystem,
+        probes: Optional[ProbeRegistry] = None,
+    ):
         self.sim = sim
         self.config = config
         self.memsystem = memsystem
+        self.probes = probes if probes is not None else ProbeRegistry(sim)
         self.cus = [
             ComputeUnit(cu_id, config.wavefront_slots_per_cu)
             for cu_id in range(config.num_cus)
         ]
+        tp_alloc = self.probes.tracepoint(
+            "gpu.slots.alloc", ("cu_id", "count"), "wavefront slots claimed on a CU"
+        )
+        tp_release = self.probes.tracepoint(
+            "gpu.slots.release", ("cu_id", "slot_id"), "a retiring wavefront freed its slot"
+        )
+        for cu in self.cus:
+            cu.tp_alloc = tp_alloc
+            cu.tp_release = tp_release
+        self.tp_wf_halt = self.probes.tracepoint(
+            "wavefront.halt",
+            ("hw_id", "live_lanes"),
+            "every lane blocked; the wavefront went to sleep",
+        )
+        self.tp_wf_resume = self.probes.tracepoint(
+            "wavefront.resume",
+            ("hw_id", "halted_ns"),
+            "a sleeping wavefront woke up; halted_ns = time asleep",
+        )
         self.utilization = UtilizationTracker(
             sim, config.num_cus * config.wavefront_slots_per_cu, name="gpu-slots"
         )

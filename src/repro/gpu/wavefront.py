@@ -233,6 +233,13 @@ class Wavefront:
 
     def _wait_for_wake(self, live: List[_Lane]) -> Generator:
         """All lanes blocked: sleep until at least one can progress."""
+        tp_halt = self.gpu.tp_wf_halt
+        tp_resume = self.gpu.tp_wf_resume
+        observing = tp_halt.enabled or tp_resume.enabled
+        if observing:
+            halted_at = self.sim.now
+            if tp_halt.enabled:
+                tp_halt.fire(self.hw_id, len(live))
         distinct = {}
         for lane in live:
             distinct[id(lane.blocked_on)] = lane.blocked_on
@@ -254,6 +261,8 @@ class Wavefront:
         if resume:
             # One scalar wake message re-schedules the wavefront.
             yield self.gpu.config.halt_resume_ns
+        if observing and tp_resume.enabled:
+            tp_resume.fire(self.hw_id, self.sim.now - halted_at)
 
     def __repr__(self) -> str:
         return f"Wavefront(hw={self.hw_id}, wg={self.group.group_id}, lanes={self.width})"

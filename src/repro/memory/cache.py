@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List
 
 from repro.machine import CACHELINE_BYTES
+from repro.probes.tracepoints import NULL_TRACEPOINT
 
 
 @dataclass
@@ -53,7 +54,15 @@ class Cache:
     ``access(line)`` returns True on hit and installs the line on miss
     (returning False).  ``flush``/``invalidate`` support the manual
     software-coherence path the paper uses for syscall buffers.
+
+    ``tp_hit``/``tp_miss`` are hit/miss tracepoints; the class-level
+    default is the inert null tracepoint so standalone caches pay only
+    one attribute check per access.  :class:`~repro.memory.system.
+    MemorySystem` rebinds them per level (``mem.l1.*`` / ``mem.l2.*``).
     """
+
+    tp_hit = NULL_TRACEPOINT
+    tp_miss = NULL_TRACEPOINT
 
     def __init__(
         self,
@@ -91,8 +100,12 @@ class Cache:
         if line in cache_set:
             cache_set.move_to_end(line)
             self.stats.hits += 1
+            if self.tp_hit.enabled:
+                self.tp_hit.fire(line)
             return True
         self.stats.misses += 1
+        if self.tp_miss.enabled:
+            self.tp_miss.fire(line)
         if len(cache_set) >= self.associativity:
             cache_set.popitem(last=False)
         cache_set[line] = True

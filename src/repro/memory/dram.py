@@ -9,9 +9,10 @@ agents therefore issue their transfers through one
 
 from __future__ import annotations
 
-from typing import Generator
+from typing import Generator, Optional
 
 from repro.machine import CACHELINE_BYTES, MachineConfig
+from repro.probes.tracepoints import ProbeRegistry
 from repro.sim.engine import Simulator
 from repro.sim.resources import BandwidthResource
 
@@ -19,7 +20,12 @@ from repro.sim.resources import BandwidthResource
 class Dram:
     """Shared CPU/GPU DRAM channel."""
 
-    def __init__(self, sim: Simulator, config: MachineConfig):
+    def __init__(
+        self,
+        sim: Simulator,
+        config: MachineConfig,
+        probes: Optional[ProbeRegistry] = None,
+    ):
         self.sim = sim
         self.config = config
         self.channel = BandwidthResource(
@@ -30,16 +36,41 @@ class Dram:
         )
         self.cpu_accesses = 0
         self.gpu_accesses = 0
+        registry = probes if probes is not None else ProbeRegistry(sim)
+        self.tp_access = registry.tracepoint(
+            "dram.access", ("agent", "nbytes"), "one transfer through the channel"
+        )
+        self.tp_stall = registry.tracepoint(
+            "dram.stall",
+            ("agent", "stall_ns"),
+            "queueing delay behind other transfers (contention, Fig. 9)",
+        )
 
     def cpu_access(self, nbytes: int = CACHELINE_BYTES) -> Generator:
         """Process body: one CPU-originated transfer."""
         self.cpu_accesses += 1
-        yield from self.channel.transfer(nbytes)
+        if self.tp_access.enabled or self.tp_stall.enabled:
+            yield from self._observed_transfer("cpu", nbytes)
+        else:
+            yield from self.channel.transfer(nbytes)
 
     def gpu_access(self, nbytes: int = CACHELINE_BYTES) -> Generator:
         """Process body: one GPU-originated transfer."""
         self.gpu_accesses += 1
+        if self.tp_access.enabled or self.tp_stall.enabled:
+            yield from self._observed_transfer("gpu", nbytes)
+        else:
+            yield from self.channel.transfer(nbytes)
+
+    def _observed_transfer(self, agent: str, nbytes: int) -> Generator:
+        start = self.sim.now
         yield from self.channel.transfer(nbytes)
+        if self.tp_access.enabled:
+            self.tp_access.fire(agent, nbytes)
+        if self.tp_stall.enabled:
+            stall = (self.sim.now - start) - self.channel.transfer_time(nbytes)
+            if stall > 1e-9:
+                self.tp_stall.fire(agent, stall)
 
     @property
     def bytes_moved(self) -> int:

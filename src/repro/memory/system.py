@@ -15,21 +15,28 @@ Timing paths (all methods are process bodies for the simulation engine):
 
 from __future__ import annotations
 
-from typing import Generator, List
+from typing import Generator, List, Optional
 
 from repro.machine import MachineConfig
 from repro.memory.atomics import AtomicCostModel
 from repro.memory.buffers import AddressAllocator, Buffer
 from repro.memory.cache import Cache, lines_covering
 from repro.memory.dram import Dram
+from repro.probes.tracepoints import ProbeRegistry
 from repro.sim.engine import Simulator
 
 
 class MemorySystem:
-    def __init__(self, sim: Simulator, config: MachineConfig):
+    def __init__(
+        self,
+        sim: Simulator,
+        config: MachineConfig,
+        probes: Optional[ProbeRegistry] = None,
+    ):
         self.sim = sim
         self.config = config
-        self.dram = Dram(sim, config)
+        self.probes = probes if probes is not None else ProbeRegistry(sim)
+        self.dram = Dram(sim, config, probes=self.probes)
         self.atomics = AtomicCostModel(config)
         self.allocator = AddressAllocator(alignment=config.cacheline_bytes)
         self.l2 = Cache(config.gpu_l2_lines, name="gpu-l2")
@@ -37,6 +44,21 @@ class MemorySystem:
             Cache(config.gpu_l1_lines, name=f"gpu-l1.{cu}")
             for cu in range(config.num_cus)
         ]
+        # Rebind the caches' inert class-level tracepoints: one pair per
+        # level (all L1s share the mem.l1.* points).
+        self.l2.tp_hit = self.probes.tracepoint(
+            "mem.l2.hit", ("line",), "GPU L2 hit"
+        )
+        self.l2.tp_miss = self.probes.tracepoint(
+            "mem.l2.miss", ("line",), "GPU L2 miss (line installed)"
+        )
+        l1_hit = self.probes.tracepoint("mem.l1.hit", ("line",), "per-CU L1 hit")
+        l1_miss = self.probes.tracepoint(
+            "mem.l1.miss", ("line",), "per-CU L1 miss (line installed)"
+        )
+        for l1 in self.l1s:
+            l1.tp_hit = l1_hit
+            l1.tp_miss = l1_miss
 
     def alloc(self, nbytes: int, align: int = 0) -> int:
         """Reserve a simulated shared-virtual-memory address range."""

@@ -19,6 +19,7 @@ from repro.machine import MachineConfig
 from repro.oskernel.blockdev import BlockDevice
 from repro.oskernel.cpu import CpuComplex
 from repro.oskernel.errors import Errno, OsError
+from repro.probes.tracepoints import ProbeRegistry
 from repro.sim.engine import Simulator
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -216,6 +217,7 @@ class FileSystem:
         cpu: CpuComplex,
         memsystem: "MemorySystem",
         disk: Optional[BlockDevice] = None,
+        probes: Optional[ProbeRegistry] = None,
     ):
         self.sim = sim
         self.config = config
@@ -231,6 +233,21 @@ class FileSystem:
 
         self._page_lru: "OrderedDict" = OrderedDict()
         self.page_cache_evictions = 0
+        registry = probes if probes is not None else ProbeRegistry(sim)
+        self.tp_pc_hit = registry.tracepoint(
+            "fs.pagecache.hit", ("pages",), "pages of a read found resident"
+        )
+        self.tp_pc_miss = registry.tracepoint(
+            "fs.pagecache.miss", ("pages",), "pages of a read faulted from disk"
+        )
+        self.tp_pc_evict = registry.tracepoint(
+            "fs.pagecache.evict", ("ino", "page"), "a page was evicted from the cache"
+        )
+        self.hook_pc_victim = registry.hook(
+            "fs.pagecache.victim",
+            ("candidates",),
+            "return an (inode, page) key to evict instead of the LRU head",
+        )
 
     # -- page-cache accounting ------------------------------------------------
 
@@ -241,9 +258,21 @@ class FileSystem:
             self._page_lru[(inode, page)] = True
         if capacity:
             while len(self._page_lru) > capacity:
-                (victim_inode, victim_page), _ = self._page_lru.popitem(last=False)
+                key = None
+                if self.hook_pc_victim.active:
+                    # Policy hook: a program may name any resident page;
+                    # invalid answers fall back to the LRU head.
+                    choice = self.hook_pc_victim.decide(None, tuple(self._page_lru))
+                    if choice in self._page_lru:
+                        key = choice
+                if key is None:
+                    key = next(iter(self._page_lru))
+                del self._page_lru[key]
+                victim_inode, victim_page = key
                 victim_inode.cached_pages.discard(victim_page)
                 self.page_cache_evictions += 1
+                if self.tp_pc_evict.enabled:
+                    self.tp_pc_evict.fire(victim_inode.ino, victim_page)
 
     def _cache_touch(self, inode: FileInode, pages) -> None:
         for page in pages:
@@ -383,6 +412,12 @@ class FileSystem:
         wanted = range(first, last + 1)
         missing = [p for p in wanted if p not in inode.cached_pages]
         self._cache_touch(inode, (p for p in wanted if p in inode.cached_pages))
+        if self.tp_pc_hit.enabled or self.tp_pc_miss.enabled:
+            hits = len(wanted) - len(missing)
+            if hits and self.tp_pc_hit.enabled:
+                self.tp_pc_hit.fire(hits)
+            if missing and self.tp_pc_miss.enabled:
+                self.tp_pc_miss.fire(len(missing))
         if not missing:
             return
         # Contiguous runs become single larger requests — what lets the

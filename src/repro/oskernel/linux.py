@@ -52,6 +52,7 @@ from repro.oskernel.net import Network, UdpSocket
 from repro.oskernel.process import OsProcess
 from repro.oskernel.signals import SigInfo
 from repro.oskernel.workqueue import WorkQueue
+from repro.probes.tracepoints import ProbeRegistry
 from repro.sim.engine import Simulator
 
 
@@ -133,19 +134,23 @@ class LinuxKernel:
         memsystem: MemorySystem,
         cpu: Optional[CpuComplex] = None,
         with_disk: bool = True,
+        probes: Optional[ProbeRegistry] = None,
     ):
         self.sim = sim
         self.config = config
         self.memsystem = memsystem
         self.cpu = cpu or CpuComplex(sim, config)
+        self.probes = probes if probes is not None else ProbeRegistry(sim)
         self.disk: Optional[BlockDevice] = (
             BlockDevice(sim, config) if with_disk else None
         )
-        self.fs = FileSystem(sim, config, self.cpu, memsystem, disk=self.disk)
+        self.fs = FileSystem(
+            sim, config, self.cpu, memsystem, disk=self.disk, probes=self.probes
+        )
         self.physmem = PhysicalMemory(sim, config, config.phys_mem_bytes)
-        self.net = Network(sim, config)
-        self.interrupts = InterruptController(sim, config, self.cpu)
-        self.workqueue = WorkQueue(sim, config)
+        self.net = Network(sim, config, probes=self.probes)
+        self.interrupts = InterruptController(sim, config, self.cpu, probes=self.probes)
+        self.workqueue = WorkQueue(sim, config, probes=self.probes)
         self.terminal = TerminalDevice(sim, config)
         self.framebuffer = FramebufferDevice(sim, config)
         self.processes: Dict[int, OsProcess] = {}

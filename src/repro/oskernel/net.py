@@ -13,6 +13,7 @@ from typing import Dict, Generator, Optional, Tuple
 
 from repro.machine import MachineConfig
 from repro.oskernel.errors import Errno, OsError
+from repro.probes.tracepoints import ProbeRegistry
 from repro.sim.engine import Simulator
 from repro.sim.resources import BandwidthResource, Store
 
@@ -55,7 +56,12 @@ class Network:
 
     EPHEMERAL_BASE = 32768
 
-    def __init__(self, sim: Simulator, config: MachineConfig):
+    def __init__(
+        self,
+        sim: Simulator,
+        config: MachineConfig,
+        probes: Optional[ProbeRegistry] = None,
+    ):
         self.sim = sim
         self.config = config
         self._bound: Dict[Address, UdpSocket] = {}
@@ -69,6 +75,16 @@ class Network:
         self.packets_sent = 0
         self.packets_dropped = 0
         self._tx_counter = 0
+        registry = probes if probes is not None else ProbeRegistry(sim)
+        self.tp_tx = registry.tracepoint(
+            "net.tx", ("nbytes",), "datagram transmitted onto the link"
+        )
+        self.tp_rx = registry.tracepoint(
+            "net.rx", ("nbytes",), "datagram received from a socket queue"
+        )
+        self.tp_drop = registry.tracepoint(
+            "net.drop", ("reason",), "datagram dropped (loss model or unbound dest)"
+        )
 
     def socket(self, host: str = "localhost") -> UdpSocket:
         return UdpSocket(self, host)
@@ -108,17 +124,23 @@ class Network:
         self.packets_sent += 1
         sock.tx_packets += 1
         self._tx_counter += 1
+        if self.tp_tx.enabled:
+            self.tp_tx.fire(len(payload))
         if (
             self.config.nic_drop_every
             and self._tx_counter % self.config.nic_drop_every == 0
         ):
             # Deterministic loss model: UDP is lossy by contract.
             self.packets_dropped += 1
+            if self.tp_drop.enabled:
+                self.tp_drop.fire("loss-model")
             return len(payload)
         target = self._bound.get(dest)
         if target is None or target.closed:
             # UDP: silently dropped (no ICMP model).
             self.packets_dropped += 1
+            if self.tp_drop.enabled:
+                self.tp_drop.fire("unbound-dest")
             return len(payload)
         target.rx_packets += 1
         target.queue.put(Datagram(payload, (sock.host, sock.port)))
@@ -130,5 +152,7 @@ class Network:
             raise OsError(Errno.EBADF, "socket closed")
         self._ensure_bound(sock)
         datagram = yield sock.queue.get()
+        if self.tp_rx.enabled:
+            self.tp_rx.fire(len(datagram.payload))
         payload = datagram.payload[:bufsize]
         return payload, datagram.source

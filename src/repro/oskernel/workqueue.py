@@ -6,6 +6,13 @@ worker thread executes this task."  Tasks here are process bodies
 (generators); a fixed pool of worker loops drains the queue, paying a
 dispatch delay per task and competing for CPU cores through whatever
 :class:`~repro.oskernel.cpu.CpuComplex` charges the task body makes.
+
+Worker selection is a policy-hook decision point (``wq.worker``): by
+default every task goes to the shared FIFO and whichever worker is free
+takes it, but an attached policy program may pin a task to a specific
+worker's private queue (e.g. to serialise related scans on one thread,
+or to emulate an affinity scheme).  When the hook is inactive the loop
+is the plain shared-FIFO path, byte-identical to the unhooked design.
 """
 
 from __future__ import annotations
@@ -13,7 +20,8 @@ from __future__ import annotations
 from typing import Callable, Generator, List, Optional
 
 from repro.machine import MachineConfig
-from repro.sim.engine import Event, Process, Simulator
+from repro.probes.tracepoints import ProbeRegistry
+from repro.sim.engine import AnyOf, Event, Process, Simulator
 from repro.sim.resources import Store
 
 
@@ -24,6 +32,7 @@ class WorkQueue:
         config: MachineConfig,
         num_workers: int = 0,
         name: str = "kworker",
+        probes: Optional[ProbeRegistry] = None,
     ):
         self.sim = sim
         self.config = config
@@ -33,6 +42,24 @@ class WorkQueue:
         self.submitted = 0
         self.completed = 0
         self._idle_event: Optional[Event] = None
+        registry = probes if probes is not None else ProbeRegistry(sim)
+        self.tp_enqueue = registry.tracepoint(
+            "wq.enqueue", ("backlog",), "task submitted; backlog after enqueue"
+        )
+        self.tp_dequeue = registry.tracepoint(
+            "wq.dequeue", ("worker_id",), "worker picked up a task"
+        )
+        self.tp_complete = registry.tracepoint(
+            "wq.complete", ("worker_id", "service_ns"), "task finished on a worker"
+        )
+        self.hook_worker = registry.hook(
+            "wq.worker",
+            ("task_index", "num_workers"),
+            "return a worker id to pin the task to, or None for the shared FIFO",
+        )
+        self._private: List[Store] = [
+            Store(sim, name=f"wq:{name}/{i}") for i in range(self.num_workers)
+        ]
         self._workers: List[Process] = [
             sim.process(self._worker_loop(i), name=f"{name}/{i}")
             for i in range(self.num_workers)
@@ -40,7 +67,7 @@ class WorkQueue:
 
     @property
     def backlog(self) -> int:
-        return len(self._tasks)
+        return len(self._tasks) + sum(len(s) for s in self._private)
 
     @property
     def outstanding(self) -> int:
@@ -48,18 +75,60 @@ class WorkQueue:
 
     def submit(self, task_factory: Callable[[], Generator]) -> None:
         """Enqueue a task; ``task_factory()`` is called on a worker thread."""
+        index = self.submitted
         self.submitted += 1
-        self._tasks.put(task_factory)
+        queue = self._tasks
+        if self.hook_worker.active:
+            choice = self.hook_worker.decide(None, index, self.num_workers)
+            if isinstance(choice, int) and 0 <= choice < self.num_workers:
+                queue = self._private[choice]
+        queue.put(task_factory)
+        if self.tp_enqueue.enabled:
+            self.tp_enqueue.fire(self.backlog)
 
     def _worker_loop(self, worker_id: int) -> Generator:
+        private = self._private[worker_id]
+        shared = self._tasks
         while True:
-            task_factory = yield self._tasks.get()
-            yield self.config.workqueue_dispatch_ns
-            yield from task_factory()
-            self.completed += 1
-            if self.submitted == self.completed and self._idle_event is not None:
-                event, self._idle_event = self._idle_event, None
-                event.succeed()
+            # Fast path — nothing pinned here and no policy attached:
+            # identical to the plain shared-FIFO loop.
+            if not len(private) and not self.hook_worker.active:
+                task_factory = yield shared.get()
+                yield from self._run_task(worker_id, task_factory)
+                continue
+            # Pinned-work path: drain the private queue first, else race
+            # a get on both queues and withdraw the loser.
+            if len(private):
+                task_factory = yield private.get()
+                yield from self._run_task(worker_id, task_factory)
+                continue
+            private_get = private.get()
+            shared_get = shared.get()
+            yield AnyOf([private_get, shared_get])
+            ran = False
+            for store, getter in ((private, private_get), (shared, shared_get)):
+                if getter.triggered:
+                    ran = True
+                    yield from self._run_task(worker_id, getter.value)
+                else:
+                    store.cancel_get(getter)
+            if not ran:  # pragma: no cover - AnyOf fired, one must hold
+                raise RuntimeError("workqueue woke with no task")
+
+    def _run_task(self, worker_id: int, task_factory: Callable[[], Generator]) -> Generator:
+        observing = self.tp_dequeue.enabled or self.tp_complete.enabled
+        if observing:
+            picked_at = self.sim.now
+            if self.tp_dequeue.enabled:
+                self.tp_dequeue.fire(worker_id)
+        yield self.config.workqueue_dispatch_ns
+        yield from task_factory()
+        self.completed += 1
+        if observing and self.tp_complete.enabled:
+            self.tp_complete.fire(worker_id, self.sim.now - picked_at)
+        if self.submitted == self.completed and self._idle_event is not None:
+            event, self._idle_event = self._idle_event, None
+            event.succeed()
 
     def when_idle(self) -> Event:
         """An event that fires when no submitted task remains unfinished.

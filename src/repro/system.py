@@ -22,6 +22,7 @@ from repro.memory.system import MemorySystem
 from repro.oskernel.cpu import CpuComplex
 from repro.oskernel.linux import LinuxKernel
 from repro.oskernel.process import OsProcess
+from repro.probes.tracepoints import ProbeRegistry, apply_global_plan
 from repro.sim.engine import Process, Simulator
 
 
@@ -35,12 +36,20 @@ class System:
     ):
         self.config = config or MachineConfig()
         self.sim = Simulator()
-        self.memsystem = MemorySystem(self.sim, self.config)
+        #: The machine's probe registry: every layer declares its
+        #: tracepoints and policy hooks here (see repro.probes).
+        self.probes = ProbeRegistry(self.sim)
+        self.memsystem = MemorySystem(self.sim, self.config, probes=self.probes)
         self.cpu = CpuComplex(self.sim, self.config)
         self.kernel = LinuxKernel(
-            self.sim, self.config, self.memsystem, cpu=self.cpu, with_disk=with_disk
+            self.sim,
+            self.config,
+            self.memsystem,
+            cpu=self.cpu,
+            with_disk=with_disk,
+            probes=self.probes,
         )
-        self.gpu = Gpu(self.sim, self.config, self.memsystem)
+        self.gpu = Gpu(self.sim, self.config, self.memsystem, probes=self.probes)
         self.host = self.kernel.create_process("host")
         self.genesys = Genesys(
             self.sim,
@@ -51,7 +60,10 @@ class System:
             self.host,
             coalescing=coalescing,
             slot_stride_bytes=slot_stride_bytes,
+            probes=self.probes,
         )
+        # Every hook point now exists: apply any CLI/test attach plan.
+        apply_global_plan(self.probes)
 
     # -- conveniences ---------------------------------------------------------
 

@@ -5,6 +5,9 @@ System` into the Trace Event Format consumed by chrome://tracing and
 Perfetto (https://ui.perfetto.dev): CPU-side syscall servicing appears
 as complete ("X") events on per-wavefront tracks, and CPU/GPU
 utilisation plus disk throughput appear as counter ("C") tracks.
+Attached probe programs with a time series (``repro.probes`` rate
+meters) are merged in as additional counter tracks under a third
+process group (pid 3).
 
 Usage::
 
@@ -97,7 +100,14 @@ def _metadata_events() -> List[dict]:
 
 def export_chrome_trace(system: System) -> dict:
     """Build the Trace Event Format dict for a finished run."""
-    events = _metadata_events() + _syscall_events(system) + _counter_events(system)
+    from repro.probes.exporters import probe_counter_events
+
+    events = (
+        _metadata_events()
+        + _syscall_events(system)
+        + _counter_events(system)
+        + probe_counter_events(getattr(system, "probes", None))
+    )
     return {
         "traceEvents": events,
         "displayTimeUnit": "ns",

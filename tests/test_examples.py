@@ -16,6 +16,7 @@ EXAMPLES = [
     "gpu_memcached",
     "framebuffer_display",
     "gpu_pipeline",
+    "probes_demo",
 ]
 
 

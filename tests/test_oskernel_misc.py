@@ -204,18 +204,27 @@ class TestInterrupts:
         assert got == ["wf-7"]
         assert sim.now >= config.interrupt_handler_ns
 
-    def test_unregistered_handler_raises(self, sim, config):
+    def test_unregistered_handler_drops_and_counts(self, sim, config):
+        # raise_irq runs at GPU time inside Do-ops, where an exception
+        # would tear down the wavefront executor: a handler-less IRQ is
+        # dropped and counted instead of raising.
         ic = InterruptController(sim, config, CpuComplex(sim, config))
-        with pytest.raises(RuntimeError):
-            ic.raise_irq(1)
+        assert ic.raise_irq(1) is False
+        assert ic.unhandled == 1
+        assert ic.raised == 1
+        assert ic.serviced == 0
+        sim.run()
+        assert sim.now == 0.0  # no top half was scheduled
 
     def test_counts(self, sim, config):
         ic = InterruptController(sim, config, CpuComplex(sim, config))
         ic.register_handler(lambda payload: None)
         for i in range(3):
-            ic.raise_irq(i)
+            assert ic.raise_irq(i) is True
         sim.run()
         assert ic.raised == 3
+        assert ic.serviced == 3
+        assert ic.unhandled == 0
 
 
 class TestTerminal:

@@ -70,6 +70,46 @@ class TestTraceRecorder:
         with pytest.raises(ValueError):
             trace.binned_mean("k", bin_ns=0)
 
+    def test_binned_mean_missing_series_is_all_zero(self, sim):
+        trace = TraceRecorder(sim)
+
+        def body():
+            yield 25
+
+        sim.run_process(body())
+        series = trace.binned_mean("never-recorded", bin_ns=10)
+        assert series == [(0.0, 0.0), (10.0, 0.0), (20.0, 0.0)]
+
+    def test_binned_mean_bin_larger_than_run(self, sim):
+        trace = TraceRecorder(sim)
+
+        def body():
+            trace.record("k", 4)
+            yield 5
+            trace.record("k", 8)
+
+        sim.run_process(body())
+        # One bin swallows the whole 5 ns run.
+        assert trace.binned_mean("k", bin_ns=1_000_000) == [(0.0, 6.0)]
+
+    def test_binned_mean_zero_length_run(self, sim):
+        trace = TraceRecorder(sim)
+        trace.record("k", 7)
+        # sim.now == 0: start == end, still one bin, sample included.
+        assert trace.binned_mean("k", bin_ns=10) == [(0.0, 7.0)]
+
+    def test_binned_mean_window_excludes_outside_samples(self, sim):
+        trace = TraceRecorder(sim)
+
+        def body():
+            trace.record("k", 1)
+            yield 50
+            trace.record("k", 99)
+
+        sim.run_process(body())
+        series = trace.binned_mean("k", bin_ns=10, start=0, end=20)
+        assert series == [(0.0, 1.0), (10.0, 0.0), (20.0, 0.0)]
+
 
 class TestUtilizationTracker:
     def test_validation(self, sim):

@@ -75,3 +75,82 @@ class TestExport:
         system = System(config=small_machine())
         trace = export_chrome_trace(system)
         assert isinstance(trace["traceEvents"], list)
+
+
+class TestTraceEventFormat:
+    """Validity of the emitted Trace Event Format records."""
+
+    def test_complete_events_carry_required_keys(self, ran_system):
+        trace = export_chrome_trace(ran_system)
+        complete = [e for e in trace["traceEvents"] if e.get("ph") == "X"]
+        assert complete
+        for event in complete:
+            assert {"name", "cat", "ph", "ts", "dur", "pid", "tid"} <= set(event)
+            assert isinstance(event["name"], str)
+            assert isinstance(event["ts"], (int, float))
+            assert isinstance(event["dur"], (int, float))
+
+    def test_counter_events_carry_required_keys(self, ran_system):
+        trace = export_chrome_trace(ran_system)
+        counters = [e for e in trace["traceEvents"] if e.get("ph") == "C"]
+        assert counters
+        for event in counters:
+            assert {"name", "ph", "ts", "pid", "args"} <= set(event)
+            assert isinstance(event["args"], dict)
+            for value in event["args"].values():
+                assert isinstance(value, (int, float))
+
+    def test_every_pid_has_a_process_name(self, ran_system):
+        trace = export_chrome_trace(ran_system)
+        named = {
+            e["pid"]
+            for e in trace["traceEvents"]
+            if e.get("ph") == "M" and e.get("name") == "process_name"
+        }
+        used = {e["pid"] for e in trace["traceEvents"] if e.get("ph") != "M"}
+        assert used <= named
+
+    def test_trace_is_json_serialisable(self, ran_system):
+        json.dumps(export_chrome_trace(ran_system))
+
+
+class TestProbeCounterTracks:
+    def test_rate_meter_appears_as_probe_track(self):
+        from repro.probes.exporters import PID_PROBES
+        from repro.probes.programs import RateMeter
+
+        system = System(config=small_machine())
+        system.probes.attach(
+            "syscall.complete", RateMeter(system.probes, bin_ns=5000.0)
+        )
+        system.kernel.fs.create_file("/data/f", b"t" * 4096, on_disk=True)
+        buf = system.memsystem.alloc_buffer(64)
+
+        def kern(ctx):
+            fd = yield from ctx.sys.open("/data/f")
+            yield from ctx.sys.pread(fd, buf, 64, 0)
+            yield from ctx.sys.close(fd)
+
+        def body():
+            yield system.launch(kern, 2, 2)
+
+        system.run_to_completion(body())
+        trace = export_chrome_trace(system)
+        probe_events = [
+            e
+            for e in trace["traceEvents"]
+            if e.get("ph") == "C" and e["name"].startswith("probe:")
+        ]
+        assert probe_events
+        for event in probe_events:
+            assert event["name"] == "probe:syscall.complete"
+            assert event["pid"] == PID_PROBES
+            assert event["args"]["value"] > 0
+
+    def test_no_probes_no_probe_tracks(self, ran_system):
+        trace = export_chrome_trace(ran_system)
+        assert not any(
+            e["name"].startswith("probe:")
+            for e in trace["traceEvents"]
+            if e.get("ph") == "C"
+        )
