@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Span-tracing demo: where does a GPU syscall's latency actually go?
+
+Attaches a :class:`repro.tracing.SpanTracer` to a live run, so every
+invocation carries a unique id from the moment the work-item claims its
+syscall slot to the moment it resumes.  The demo prints the per-stage
+latency breakdown (the paper's Figure-2 pipeline as p50/p95/p99),
+critical-path attribution, the slowest invocations with full timelines,
+and writes a Perfetto trace (``tracing_demo.trace.json``) in which the
+span tracks carry GPU→CPU flow arrows — then demonstrates that the
+traced run's simulated timing is byte-identical to an untraced one.
+
+Run:  python examples/tracing_demo.py
+"""
+
+from repro.tracing import SpanTracer
+from repro.tracing.analysis import reconciliation_error, render_report
+from repro.system import System
+
+NUM_WORKITEMS = 64
+READ_BYTES = 256
+
+
+def build_system() -> System:
+    system = System()
+    payload = b"\xab" * (READ_BYTES * NUM_WORKITEMS)
+    inode = system.kernel.fs.create_file("/tmp/input.dat", payload, on_disk=True)
+    inode.cached_pages.clear()
+    return system
+
+
+def run_workload(system: System) -> float:
+    bufs = [system.memsystem.alloc_buffer(READ_BYTES) for _ in range(NUM_WORKITEMS)]
+
+    def host_open():
+        fd = yield from system.kernel.call(system.host, "open", "/tmp/input.dat")
+        return fd
+
+    fd = system.sim.run_process(host_open())
+
+    def kern(ctx):
+        yield from ctx.sys.pread(
+            fd, bufs[ctx.global_id], READ_BYTES, READ_BYTES * ctx.global_id
+        )
+
+    return system.run_kernel(kern, NUM_WORKITEMS, 16, name="traced-read")
+
+
+def main() -> None:
+    system = build_system()
+    tracer = SpanTracer(system.probes).install()
+    elapsed = run_workload(system)
+    print(f"elapsed: {elapsed:.0f} ns simulated, "
+          f"{len(tracer.completed)} invocations traced\n")
+
+    print(render_report(tracer.completed, title="tracing_demo", slowest_n=3))
+
+    worst = max(reconciliation_error(t) for t in tracer.completed)
+    print(f"\nstage sums vs end-to-end: max error {worst:.3f} ns "
+          f"(spans telescope exactly)")
+
+    import os
+    import tempfile
+
+    from repro.traceviz import write_chrome_trace
+
+    path = os.path.join(tempfile.mkdtemp(prefix="tracing_demo_"),
+                        "tracing_demo.trace.json")
+    write_chrome_trace(system, path)
+    print(f"wrote {path} — open in https://ui.perfetto.dev "
+          "(pid 4 holds the span tracks + flow arrows)")
+
+    bare = build_system()
+    assert run_workload(bare) == elapsed
+    print("traced and untraced runs are byte-identical "
+          f"({elapsed:.0f} ns both ways)")
+
+
+if __name__ == "__main__":
+    main()

@@ -71,8 +71,15 @@ class Coalescer:
         self.bundles_flushed = 0
         self.requests_seen = 0
         registry = probes if probes is not None else ProbeRegistry(sim)
+        self.tp_add = registry.tracepoint(
+            "coalesce.add",
+            ("payload",),
+            "an interrupt payload reached the coalescer (bottom half ran)",
+        )
         self.tp_flush = registry.tracepoint(
-            "coalesce.flush", ("batch_size",), "a coalesced bundle became one task"
+            "coalesce.flush",
+            ("batch_size", "payloads"),
+            "a coalesced bundle became one task",
         )
         self.hook_window = registry.hook(
             "coalesce.window",
@@ -88,6 +95,8 @@ class Coalescer:
     def add(self, payload: Any) -> None:
         """Add one interrupt payload (called from the handler)."""
         self.requests_seen += 1
+        if self.tp_add.enabled:
+            self.tp_add.fire(payload)
         if not self._bundle:
             # Opening a (potential) bundle: decide its window and batch.
             window = self.config.window_ns
@@ -101,7 +110,7 @@ class Coalescer:
                 self.flush_fn([payload])
                 self.bundles_flushed += 1
                 if self.tp_flush.enabled:
-                    self.tp_flush.fire(1)
+                    self.tp_flush.fire(1, (payload,))
                 return
             self._bundle_batch = batch
             self._bundle.append(payload)
@@ -124,7 +133,7 @@ class Coalescer:
         self._bundle_seq += 1
         self.bundles_flushed += 1
         if self.tp_flush.enabled:
-            self.tp_flush.fire(len(bundle))
+            self.tp_flush.fire(len(bundle), tuple(bundle))
         self.flush_fn(bundle)
 
     @property

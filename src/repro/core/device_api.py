@@ -90,10 +90,10 @@ class _SlotOps:
         self.publish_swap = Atomic("swap", slot.addr)
         self.set_ready = Do(slot.set_ready)
         self.note_issued = {
-            g: Do(lambda g=g: genesys.note_issued(g)) for g in Granularity
+            g: Do(lambda g=g: genesys.note_issued(g, slot)) for g in Granularity
         }
         self.sendmsg = Sleep(cfg.sendmsg_ns)
-        self.raise_irq = Do(lambda: genesys.raise_interrupt(hw_id))
+        self.raise_irq = Do(lambda: genesys.raise_interrupt(hw_id, slot))
         self.poll_load = Atomic("atomic-load", slot.addr)
         self.read_state = Do(lambda: slot.state)
         self.get_completion = Do(lambda: slot.completion)
@@ -215,8 +215,19 @@ class DeviceApi:
                 self._config,
             )
         slot = ops.slot
+        # Mint the invocation id (and fire the tracing origin mark) in
+        # plain Python between ops: the lane's op stream — and therefore
+        # every simulated timestamp — is identical traced or not.
+        invocation_id = genesys.begin_invocation(
+            name, self._wavefront.hw_id, self._ctx.lane, granularity, blocking, wait
+        )
         request = SyscallRequest(
-            name, args, blocking, genesys.host_process, issued_at=None
+            name,
+            args,
+            blocking,
+            genesys.host_process,
+            issued_at=None,
+            invocation_id=invocation_id,
         )
 
         # Claim: cmp-swap until the slot is FREE (a previous non-blocking
@@ -259,6 +270,12 @@ class DeviceApi:
         else:
             completion = yield ops.get_completion
             yield WaitAll([completion])
+
+        # The caller proceeds: the tracing resume mark, fired inline at
+        # the instant the work-item's next op is requested (after any
+        # halt-resume charge), again without adding an op.
+        if genesys.tp_resume.enabled:
+            genesys.tp_resume.fire(invocation_id, name, self._wavefront.hw_id)
 
         # Consume the result and free the slot (FINISHED -> FREE).
         yield ops.publish_swap

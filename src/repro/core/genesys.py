@@ -19,10 +19,11 @@ device API onto every work-item the GPU starts.
 
 from __future__ import annotations
 
-from typing import Dict, Generator, List, Optional
+from collections import deque
+from typing import Deque, Dict, Generator, List, Optional
 
 from repro.core.coalescing import CoalescingConfig, Coalescer
-from repro.core.invocation import Granularity, SyscallRequest
+from repro.core.invocation import Granularity, SyscallRequest, WaitMode
 from repro.core.syscall_area import Slot, SlotState, SyscallArea
 from repro.gpu.device import Gpu
 from repro.gpu.hierarchy import WorkItemCtx
@@ -82,18 +83,47 @@ class Genesys:
         )
         self.tp_submit = self.probes.tracepoint(
             "syscall.submit",
-            ("granularity",),
+            ("granularity", "invocation_id", "name", "hw_id", "blocking"),
             "a GPU work-item published a READY syscall request",
         )
         self.tp_dispatch = self.probes.tracepoint(
             "syscall.dispatch",
-            ("name", "hw_id"),
+            ("name", "hw_id", "invocation_id"),
             "a worker flipped a slot READY -> PROCESSING",
         )
         self.tp_complete = self.probes.tracepoint(
             "syscall.complete",
-            ("name", "hw_id", "service_ns"),
+            ("name", "hw_id", "service_ns", "invocation_id", "blocking"),
             "a syscall finished servicing; service_ns = PROCESSING time",
+        )
+        # Span-grade fire sites (repro.tracing): each carries the
+        # invocation_id minted by begin_invocation so one invocation's
+        # journey can be joined across the GPU- and CPU-side halves.
+        self.tp_claim = self.probes.tracepoint(
+            "syscall.claim",
+            ("invocation_id", "name", "hw_id", "lane", "granularity", "blocking", "wait"),
+            "a work-item started claiming its syscall-area slot",
+        )
+        self.tp_irq = self.probes.tracepoint(
+            "syscall.irq",
+            ("invocation_id", "hw_id", "suppressed"),
+            "an invocation signalled the CPU (suppressed: a scan for its "
+            "wavefront was already queued, so no new interrupt was raised)",
+        )
+        self.tp_resume = self.probes.tracepoint(
+            "syscall.resume",
+            ("invocation_id", "name", "hw_id"),
+            "a blocking caller observed completion and proceeded",
+        )
+        self.tp_scan_enqueue = self.probes.tracepoint(
+            "scan.enqueue",
+            ("scan_id", "hw_ids"),
+            "a coalesced bundle was submitted to the workqueue as one scan task",
+        )
+        self.tp_scan_start = self.probes.tracepoint(
+            "scan.start",
+            ("scan_id", "hw_ids"),
+            "a worker thread began executing a scan task",
         )
         self._scan_suppressed: set = set()
         self.outstanding = 0
@@ -101,9 +131,18 @@ class Genesys:
         self.invocation_counts: Dict[Granularity, int] = {g: 0 for g in Granularity}
         self.interrupts_sent = 0
         self.syscalls_completed = 0
+        #: Monotonic invocation-id mint (see begin_invocation) and the
+        #: scan-task mint used to join workqueue waits to bundles.
+        self._next_invocation_id = 0
+        self._next_scan_id = 0
         #: (name, hw_wavefront_id, start_ns, end_ns) per serviced call —
-        #: consumed by repro.traceviz for timeline export.
-        self.completion_log: List[tuple] = []
+        #: consumed by repro.traceviz for timeline export.  Optionally
+        #: bounded: ``completion_log_limit`` > 0 keeps only the newest
+        #: entries (knob: /sys/genesys/completion_log_limit) and counts
+        #: everything discarded in ``completion_log_dropped``.
+        self.completion_log: Deque[tuple] = deque()
+        self.completion_log_limit = 0
+        self.completion_log_dropped = 0
         gpu.workitem_binder = self._bind_workitem
         linux.interrupts.register_handler(self._bottom_half)
         self._register_sysfs()
@@ -172,6 +211,26 @@ class Genesys:
             write_fn=set_batch,
         )
 
+        def set_log_limit(raw: bytes) -> None:
+            text = raw.strip()
+            try:
+                value = int(text)
+            except (ValueError, UnicodeDecodeError):
+                raise OsError(
+                    Errno.EINVAL, f"completion_log_limit: not an integer: {text!r}"
+                ) from None
+            if value < 0:
+                raise OsError(
+                    Errno.EINVAL, f"completion_log_limit: must be >= 0, got {value}"
+                )
+            self.set_completion_log_limit(value)
+
+        fs.add_dynamic_file(
+            "/sys/genesys/completion_log_limit",
+            lambda: b"%d\n" % self.completion_log_limit,
+            write_fn=set_log_limit,
+        )
+
     # -- GPU-side hooks -----------------------------------------------------
 
     def _bind_workitem(self, ctx: WorkItemCtx, wavefront: Wavefront) -> None:
@@ -179,20 +238,65 @@ class Genesys:
 
         ctx.sys = DeviceApi(self, ctx, wavefront)
 
-    def note_issued(self, granularity: Granularity) -> None:
+    def begin_invocation(
+        self,
+        name: str,
+        hw_id: int,
+        lane: int,
+        granularity: Granularity,
+        blocking: bool,
+        wait: WaitMode,
+    ) -> int:
+        """Mint the invocation id for one syscall submission.
+
+        Called inline (between GPU ops, never as one) at the start of the
+        slot-claim sequence, so minting adds no op to the lane's stream;
+        the ``syscall.claim`` fire is the invocation's t0 when tracing is
+        attached.
+        """
+        self._next_invocation_id += 1
+        invocation_id = self._next_invocation_id
+        if self.tp_claim.enabled:
+            self.tp_claim.fire(
+                invocation_id,
+                name,
+                hw_id,
+                lane,
+                granularity.value,
+                blocking,
+                wait.value,
+            )
+        return invocation_id
+
+    def note_issued(self, granularity: Granularity, slot: Optional[Slot] = None) -> None:
         self.outstanding += 1
         self.invocation_counts[granularity] += 1
         if self.tp_submit.enabled:
-            self.tp_submit.fire(granularity.value)
+            request = slot.request if slot is not None else None
+            if request is not None:
+                self.tp_submit.fire(
+                    granularity.value,
+                    request.invocation_id,
+                    request.name,
+                    slot.index // self.area.width,
+                    request.blocking,
+                )
+            else:
+                self.tp_submit.fire(granularity.value, None, None, None, None)
 
-    def raise_interrupt(self, hw_wavefront_id: int) -> None:
+    def raise_interrupt(self, hw_wavefront_id: int, slot: Optional[Slot] = None) -> None:
         """Step 2: GPU interrupts the CPU (called at GPU time via a Do op).
 
         One scan task per wavefront is enough to service every READY slot
         of that wavefront, so interrupts are suppressed while a scan for
         the same hardware ID is already queued.
         """
-        if hw_wavefront_id in self._scan_suppressed:
+        suppressed = hw_wavefront_id in self._scan_suppressed
+        if self.tp_irq.enabled and slot is not None and slot.request is not None:
+            self.tp_irq.fire(
+                slot.request.invocation_id, hw_wavefront_id, suppressed
+            )
+        if suppressed:
             return
         self._scan_suppressed.add(hw_wavefront_id)
         self.interrupts_sent += 1
@@ -206,14 +310,20 @@ class Genesys:
 
     def _enqueue_scan(self, hw_ids: List[int]) -> None:
         """Step 3b: a coalesced bundle becomes one workqueue task."""
-        self.linux.workqueue.submit(lambda: self._scan_task(list(hw_ids)))
+        self._next_scan_id += 1
+        scan_id = self._next_scan_id
+        if self.tp_scan_enqueue.enabled:
+            self.tp_scan_enqueue.fire(scan_id, tuple(hw_ids))
+        self.linux.workqueue.submit(lambda: self._scan_task(scan_id, list(hw_ids)))
 
-    def _scan_task(self, hw_ids: List[int]) -> Generator:
+    def _scan_task(self, scan_id: int, hw_ids: List[int]) -> Generator:
         """Steps 3c-5: worker thread scans slots and services the calls.
 
         All calls in the bundle run sequentially on this one worker —
         the implicit serialisation cost of coalescing.
         """
+        if self.tp_scan_start.enabled:
+            self.tp_scan_start.fire(scan_id, tuple(hw_ids))
         cpu = self.linux.cpu
         # Adopt the context of the process that launched the kernel
         # (Section VI: syscalls execute outside the invoking context).
@@ -226,7 +336,7 @@ class Genesys:
                 request = slot.start_processing()
                 started_at = self.sim.now
                 if self.tp_dispatch.enabled:
-                    self.tp_dispatch.fire(request.name, hw_id)
+                    self.tp_dispatch.fire(request.name, hw_id, request.invocation_id)
                 yield from cpu.run(self.config.syscall_base_ns)
                 result = yield from self.linux.execute(
                     request.proc, request.name, request.args
@@ -247,15 +357,39 @@ class Genesys:
                     event, self._all_complete = self._all_complete, None
                     event.succeed()
                 self.syscalls_completed += 1
+                if self.completion_log_limit and (
+                    len(self.completion_log) >= self.completion_log_limit
+                ):
+                    self.completion_log.popleft()
+                    self.completion_log_dropped += 1
                 self.completion_log.append(
                     (request.name, hw_id, started_at, self.sim.now)
                 )
                 if self.tp_complete.enabled:
                     self.tp_complete.fire(
-                        request.name, hw_id, self.sim.now - started_at
+                        request.name,
+                        hw_id,
+                        self.sim.now - started_at,
+                        request.invocation_id,
+                        request.blocking,
                     )
 
     # -- host-side services --------------------------------------------------
+
+    def set_completion_log_limit(self, limit: int) -> None:
+        """Bound ``completion_log`` to the newest ``limit`` entries.
+
+        ``limit`` == 0 restores the unbounded default.  Shrinking below
+        the current length discards the oldest entries immediately and
+        counts them as dropped, exactly as the append path would have.
+        """
+        if limit < 0:
+            raise ValueError(f"completion_log_limit must be >= 0, got {limit}")
+        self.completion_log_limit = limit
+        if limit:
+            while len(self.completion_log) > limit:
+                self.completion_log.popleft()
+                self.completion_log_dropped += 1
 
     def _when_no_outstanding(self) -> Event:
         """An event that fires when ``outstanding`` next reaches zero."""
@@ -301,4 +435,5 @@ class Genesys:
             "mean_bundle_size": self.coalescer.mean_bundle_size,
             "invocations": {g.value: n for g, n in self.invocation_counts.items()},
             "syscall_counts": dict(self.linux.syscall_counts),
+            "completion_log_dropped": self.completion_log_dropped,
         }

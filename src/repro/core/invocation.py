@@ -85,11 +85,14 @@ class SyscallRequest:
     Mirrors the slot contents of the paper's Figure 5: syscall number
     (name here), up to six arguments, and the blocking bit; the
     ``args`` field doubles as the return-value storage on completion.
+    ``invocation_id`` is the machine-unique id GENESYS mints at submit
+    time; span tracing (:mod:`repro.tracing`) uses it to join the
+    GPU-side and CPU-side halves of one invocation's journey.
     """
 
     MAX_ARGS = 6
 
-    __slots__ = ("name", "args", "blocking", "proc", "issued_at")
+    __slots__ = ("name", "args", "blocking", "proc", "issued_at", "invocation_id")
 
     def __init__(
         self,
@@ -98,6 +101,7 @@ class SyscallRequest:
         blocking: bool,
         proc: "OsProcess",
         issued_at: Optional[float] = None,
+        invocation_id: Optional[int] = None,
     ):
         if len(args) > self.MAX_ARGS:
             raise ValueError(
@@ -109,6 +113,7 @@ class SyscallRequest:
         self.blocking = blocking
         self.proc = proc
         self.issued_at = issued_at
+        self.invocation_id = invocation_id
 
     def __repr__(self) -> str:
         mode = "blocking" if self.blocking else "non-blocking"

@@ -18,6 +18,9 @@ Attach specs (``--attach``, repeatable)::
     hist:NAME[:value=N]       log2 latency histogram over argument N
                               (default 0) of tracepoint NAME
     rate:NAME[:bin_ns]        fires/second time series in bin_ns bins
+    spans                     per-invocation span tracer (repro.tracing);
+                              --metrics then includes a schema-versioned
+                              span summary section per System
 
 Policies (``--policy``, repeatable) pin a decision point to a constant,
 e.g. ``--policy coalesce.window=20000`` — the CLI twin of writing
@@ -52,6 +55,13 @@ class SpecError(ValueError):
 def apply_attach_spec(registry: ProbeRegistry, spec: str) -> int:
     """Attach the programs ``spec`` describes; returns how many."""
     kind, _, rest = spec.partition(":")
+    if kind == "spans":
+        if rest not in ("", "*"):
+            raise SpecError(f"--attach {spec!r}: spans takes no target")
+        from repro.tracing.spans import SpanTracer
+
+        SpanTracer(registry).install()
+        return 1
     if not rest:
         raise SpecError(f"--attach {spec!r}: expected KIND:TARGET")
     if kind == "counter":
@@ -79,7 +89,7 @@ def apply_attach_spec(registry: ProbeRegistry, spec: str) -> int:
         bin_ns = float(_parse_int(spec, option)) if option else 10_000.0
         registry.attach(name, RateMeter(registry, bin_ns=bin_ns))
         return 1
-    raise SpecError(f"--attach {spec!r}: unknown kind {kind!r} (counter|hist|rate)")
+    raise SpecError(f"--attach {spec!r}: unknown kind {kind!r} (counter|hist|rate|spans)")
 
 
 def apply_policy_spec(registry: ProbeRegistry, spec: str) -> None:
@@ -125,7 +135,7 @@ def main(argv=None) -> int:
         action="append",
         default=[],
         metavar="SPEC",
-        help="counter:PATTERN[:key=N] | hist:NAME[:value=N] | rate:NAME[:bin_ns]",
+        help="counter:PATTERN[:key=N] | hist:NAME[:value=N] | rate:NAME[:bin_ns] | spans",
     )
     run_p.add_argument(
         "--policy",

@@ -88,6 +88,15 @@ def probe_counter_events(registry: Any, pid: int = PID_PROBES) -> List[dict]:
                     "args": {"name": "probes"},
                 }
             )
+            events.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": 0,
+                    "args": {"name": "probe counters"},
+                }
+            )
             named = True
         track = f"probe:{program.name}"
         for t_ns, value in series:

@@ -7,7 +7,10 @@ as complete ("X") events on per-wavefront tracks, and CPU/GPU
 utilisation plus disk throughput appear as counter ("C") tracks.
 Attached probe programs with a time series (``repro.probes`` rate
 meters) are merged in as additional counter tracks under a third
-process group (pid 3).
+process group (pid 3), and attached span tracers (``repro.tracing``)
+contribute per-stage invocation span tracks with GPU->CPU flow arrows
+under a fourth (pid 4).  Every pid/tid carries "M" metadata so
+Perfetto labels the tracks.
 
 Usage::
 
@@ -81,8 +84,8 @@ def _counter_events(system: System) -> List[dict]:
     return events
 
 
-def _metadata_events() -> List[dict]:
-    return [
+def _metadata_events(system: System) -> List[dict]:
+    events = [
         {
             "name": "process_name",
             "ph": "M",
@@ -95,18 +98,40 @@ def _metadata_events() -> List[dict]:
             "pid": PID_COUNTERS,
             "args": {"name": "machine counters"},
         },
+        {
+            "name": "thread_name",
+            "ph": "M",
+            "pid": PID_COUNTERS,
+            "tid": 0,
+            "args": {"name": "utilization + io"},
+        },
     ]
+    hw_ids = sorted({hw_id for _, hw_id, _, _ in system.genesys.completion_log})
+    for hw_id in hw_ids:
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": PID_SYSCALLS,
+                "tid": hw_id,
+                "args": {"name": f"hw wavefront {hw_id}"},
+            }
+        )
+    return events
 
 
 def export_chrome_trace(system: System) -> dict:
     """Build the Trace Event Format dict for a finished run."""
     from repro.probes.exporters import probe_counter_events
+    from repro.tracing.export import span_events
+    from repro.tracing.spans import span_tracers
 
     events = (
-        _metadata_events()
+        _metadata_events(system)
         + _syscall_events(system)
         + _counter_events(system)
         + probe_counter_events(getattr(system, "probes", None))
+        + span_events(span_tracers(getattr(system, "probes", None)))
     )
     return {
         "traceEvents": events,

@@ -1,0 +1,8 @@
+"""``python -m repro.tracing`` entry point."""
+
+import sys
+
+from repro.tracing.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,138 @@
+"""Perfetto / Chrome Trace Event Format export of invocation spans.
+
+Span traces become a fourth process group in the combined
+:mod:`repro.traceviz` export (pid 1 = syscall servicing, 2 = machine
+counters, 3 = probe counter tracks): one thread track per pipeline
+stage, each invocation's stage span as a complete ("X") event, and a
+flow arrow ("s"/"f") linking the GPU-side submit to the CPU-side
+service so Perfetto draws the cross-processor hand-off.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.tracing.spans import STAGE_ORDER, InvocationTrace, SpanTracer
+
+#: pid of the span tracks (1/2/3 are taken — see repro.traceviz and
+#: repro.probes.exporters).
+PID_SPANS = 4
+
+#: Stage -> tid; enumerated in pipeline order so Perfetto sorts the
+#: tracks top-to-bottom in execution order.
+STAGE_TIDS = {stage: tid for tid, stage in enumerate(STAGE_ORDER, start=1)}
+
+
+def _metadata() -> List[dict]:
+    events = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": PID_SPANS,
+            "args": {"name": "syscall spans"},
+        }
+    ]
+    for stage, tid in STAGE_TIDS.items():
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": PID_SPANS,
+                "tid": tid,
+                "args": {"name": f"stage: {stage}"},
+            }
+        )
+        events.append(
+            {
+                "name": "thread_sort_index",
+                "ph": "M",
+                "pid": PID_SPANS,
+                "tid": tid,
+                "args": {"sort_index": tid},
+            }
+        )
+    return events
+
+
+def _trace_events(trace: InvocationTrace) -> List[dict]:
+    events = []
+    t_prev = trace.t0
+    for stage, duration in trace.spans():
+        tid = STAGE_TIDS.get(stage, 0)
+        events.append(
+            {
+                "name": f"{trace.name}:{stage}",
+                "cat": "span",
+                "ph": "X",
+                "ts": t_prev / 1000.0,  # TEF wants microseconds
+                "dur": max(duration, 1.0) / 1000.0,
+                "pid": PID_SPANS,
+                "tid": tid,
+                "args": {
+                    "invocation_id": trace.invocation_id,
+                    "syscall": trace.name,
+                    "stage": stage,
+                    "hw_wavefront": trace.hw_id,
+                    "granularity": trace.granularity,
+                    "blocking": trace.blocking,
+                    "wait": trace.wait,
+                },
+            }
+        )
+        t_prev += duration
+    # Flow arrow: GPU-side submit (slot READY) -> CPU-side service.
+    marks = dict(trace.marks)
+    if "submit" in marks and "service" in marks:
+        flow_common = {
+            "name": "gpu-to-cpu",
+            "cat": "flow",
+            "id": trace.invocation_id,
+            "pid": PID_SPANS,
+        }
+        events.append(
+            {
+                **flow_common,
+                "ph": "s",
+                "ts": marks["submit"] / 1000.0,
+                "tid": STAGE_TIDS["submit"],
+            }
+        )
+        service_start = marks.get("dispatch", marks["service"])
+        events.append(
+            {
+                **flow_common,
+                "ph": "f",
+                "bp": "e",
+                "ts": service_start / 1000.0,
+                "tid": STAGE_TIDS["service"],
+            }
+        )
+    return events
+
+
+def span_events(tracers: Iterable[SpanTracer]) -> List[dict]:
+    """All TEF events for the completed traces of ``tracers``.
+
+    Returns ``[]`` when no tracer has completed invocations, so callers
+    can merge unconditionally.
+    """
+    traces = [trace for tracer in tracers for trace in tracer.completed]
+    if not traces:
+        return []
+    events = _metadata()
+    for trace in traces:
+        events.extend(_trace_events(trace))
+    return events
+
+
+def tef_dict(tracers: Iterable[SpanTracer]) -> dict:
+    """A standalone Trace Event Format document of just the spans."""
+    tracers = list(tracers)
+    return {
+        "traceEvents": span_events(tracers),
+        "displayTimeUnit": "ns",
+        "otherData": {
+            "generator": "repro.tracing (GENESYS reproduction)",
+            "invocations": sum(len(t.completed) for t in tracers),
+        },
+    }

@@ -17,6 +17,7 @@ EXAMPLES = [
     "framebuffer_display",
     "gpu_pipeline",
     "probes_demo",
+    "tracing_demo",
 ]
 
 

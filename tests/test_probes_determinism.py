@@ -15,13 +15,17 @@ from repro.probes.tracepoints import clear_global_plan, install_global_plan
 
 
 def attach_everything(registry):
-    """Counters on every tracepoint plus the time/latency programs."""
+    """Counters on every tracepoint plus the time/latency programs and a
+    full span tracer (repro.tracing) — the heaviest supported load."""
+    from repro.tracing.spans import SpanTracer
+
     for tp in registry.match("*"):
         registry.attach(tp.name, CounterProbe(registry, key_arg=0))
     registry.attach(
         "syscall.complete", LatencyHistogram(registry, value_arg=2)
     )
     registry.attach("irq.raised", RateMeter(registry, bin_ns=5000.0))
+    SpanTracer(registry).install()
 
 
 def run_instrumented(name):
