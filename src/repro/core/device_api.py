@@ -215,72 +215,90 @@ class DeviceApi:
                 self._config,
             )
         slot = ops.slot
-        # Mint the invocation id (and fire the tracing origin mark) in
-        # plain Python between ops: the lane's op stream — and therefore
-        # every simulated timestamp — is identical traced or not.
-        invocation_id = genesys.begin_invocation(
-            name, self._wavefront.hw_id, self._ctx.lane, granularity, blocking, wait
-        )
-        request = SyscallRequest(
-            name,
-            args,
-            blocking,
-            genesys.host_process,
-            issued_at=None,
-            invocation_id=invocation_id,
-        )
-
-        # Claim: cmp-swap until the slot is FREE (a previous non-blocking
-        # call of ours may still be in flight — invocation is delayed).
+        # Retry loop: each attempt is a full slot-protocol round trip
+        # with its own invocation id, so retries cost real simulated ops
+        # and show up as separate invocations in spans.  ``attempt``
+        # only advances when a blocking call returns a transient errno
+        # the retry policy accepts; the fault-free path runs the body
+        # exactly once, byte-identical to the loop-free design.
+        attempt = 0
         while True:
-            yield ops.claim_cas
-            claimed = yield ops.try_claim
-            if claimed:
-                break
-            yield ops.poll_sleep
+            # Mint the invocation id (and fire the tracing origin mark) in
+            # plain Python between ops: the lane's op stream — and therefore
+            # every simulated timestamp — is identical traced or not.
+            invocation_id = genesys.begin_invocation(
+                name, self._wavefront.hw_id, self._ctx.lane, granularity, blocking, wait
+            )
+            request = SyscallRequest(
+                name,
+                args,
+                blocking,
+                genesys.host_process,
+                issued_at=None,
+                invocation_id=invocation_id,
+            )
 
-        # Consumer calls hand GPU-written buffers to the CPU: flush the
-        # non-coherent L1 so the CPU sees the data (Section VI).
-        if syscall_kind(name) is SyscallKind.CONSUMER:
-            for arg in args:
-                if isinstance(arg, Buffer):
-                    yield L1Flush(arg.addr, arg.size)
-
-        # Populate the 64-byte slot, then publish with an atomic swap.
-        yield Do(lambda: slot.populate(request))
-        yield ops.populate_write
-        yield ops.publish_swap
-        yield ops.set_ready
-        yield ops.note_issued[granularity]
-
-        # Interrupt the CPU (s_sendmsg scalar instruction).
-        yield ops.sendmsg
-        yield ops.raise_irq
-
-        if not blocking:
-            return SyscallHandle(slot, request)
-
-        if wait is WaitMode.POLL:
+            # Claim: cmp-swap until the slot is FREE (a previous non-blocking
+            # call of ours may still be in flight — invocation is delayed).
             while True:
-                yield ops.poll_load
-                state = yield ops.read_state
-                if state is SlotState.FINISHED:
+                yield ops.claim_cas
+                claimed = yield ops.try_claim
+                if claimed:
                     break
                 yield ops.poll_sleep
-        else:
-            completion = yield ops.get_completion
-            yield WaitAll([completion])
 
-        # The caller proceeds: the tracing resume mark, fired inline at
-        # the instant the work-item's next op is requested (after any
-        # halt-resume charge), again without adding an op.
-        if genesys.tp_resume.enabled:
-            genesys.tp_resume.fire(invocation_id, name, self._wavefront.hw_id)
+            # Consumer calls hand GPU-written buffers to the CPU: flush the
+            # non-coherent L1 so the CPU sees the data (Section VI).
+            if syscall_kind(name) is SyscallKind.CONSUMER:
+                for arg in args:
+                    if isinstance(arg, Buffer):
+                        yield L1Flush(arg.addr, arg.size)
 
-        # Consume the result and free the slot (FINISHED -> FREE).
-        yield ops.publish_swap
-        result = yield ops.consume
-        return result
+            # Populate the 64-byte slot, then publish with an atomic swap.
+            yield Do(lambda: slot.populate(request))
+            yield ops.populate_write
+            yield ops.publish_swap
+            yield ops.set_ready
+            yield ops.note_issued[granularity]
+
+            # Interrupt the CPU (s_sendmsg scalar instruction).
+            yield ops.sendmsg
+            yield ops.raise_irq
+
+            if not blocking:
+                return SyscallHandle(slot, request)
+
+            if wait is WaitMode.POLL:
+                while True:
+                    yield ops.poll_load
+                    state = yield ops.read_state
+                    if state is SlotState.FINISHED:
+                        break
+                    yield ops.poll_sleep
+            else:
+                completion = yield ops.get_completion
+                yield WaitAll([completion])
+
+            # The caller proceeds: the tracing resume mark, fired inline at
+            # the instant the work-item's next op is requested (after any
+            # halt-resume charge), again without adding an op.
+            if genesys.tp_resume.enabled:
+                genesys.tp_resume.fire(invocation_id, name, self._wavefront.hw_id)
+
+            # Consume the result and free the slot (FINISHED -> FREE).
+            yield ops.publish_swap
+            result = yield ops.consume
+            if genesys.retry_decision(name, result, attempt):
+                attempt += 1
+                genesys.syscall_retries += 1
+                backoff_ns = genesys.retry_backoff_ns(attempt)
+                if genesys.tp_retry.enabled:
+                    genesys.tp_retry.fire(
+                        invocation_id, name, -result, attempt, backoff_ns
+                    )
+                yield Sleep(backoff_ns)
+                continue
+            return result
 
     # -- POSIX-named conveniences ------------------------------------------------
 

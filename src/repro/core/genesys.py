@@ -33,6 +33,7 @@ from repro.memory.system import MemorySystem
 from repro.oskernel.errors import Errno, OsError
 from repro.oskernel.linux import LinuxKernel
 from repro.oskernel.process import OsProcess
+from repro.oskernel.workqueue import DrainTimeout
 from repro.probes.tracepoints import ProbeRegistry
 from repro.sim.engine import Event, Simulator
 
@@ -76,7 +77,9 @@ class Genesys:
         self.memsystem = memsystem
         self.host_process = host_process
         self.probes = probes if probes is not None else ProbeRegistry(sim)
-        self.area = SyscallArea(sim, config, memsystem, slot_stride_bytes)
+        self.area = SyscallArea(
+            sim, config, memsystem, slot_stride_bytes, probes=self.probes
+        )
         self.coalescing = coalescing or CoalescingConfig()
         self.coalescer = Coalescer(
             sim, self.coalescing, flush_fn=self._enqueue_scan, probes=self.probes
@@ -125,6 +128,67 @@ class Genesys:
             ("scan_id", "hw_ids"),
             "a worker thread began executing a scan task",
         )
+        # Fault-injection decision points (consulted only when a
+        # FaultPlan or test attached a program) and the recovery
+        # tracepoints the watchdog machinery fires.
+        self.hook_fault_errno = self.probes.hook(
+            "fault.errno",
+            ("name", "invocation_id"),
+            "return an Errno to fail this dispatch transiently (before "
+            "the syscall body runs), or None to execute normally",
+        )
+        self.tp_fault_errno = self.probes.tracepoint(
+            "fault.errno.injected",
+            ("name", "errno", "invocation_id"),
+            "a transient errno was injected at dispatch",
+        )
+        self.hook_fault_slot = self.probes.hook(
+            "fault.slot",
+            ("hw_id", "slot_index", "name"),
+            "return 'wedge' to strand the slot in PROCESSING, 'corrupt' to "
+            "replace the result with -EIO, or None for a clean completion",
+        )
+        self.tp_fault_slot = self.probes.tracepoint(
+            "fault.slot.injected",
+            ("action", "slot_index", "name"),
+            "an injected slot fault was applied (wedge or corrupt)",
+        )
+        self.hook_watchdog = self.probes.hook(
+            "genesys.watchdog",
+            ("period_ns",),
+            "override the watchdog period (ns; 0 disables) for the next arm",
+        )
+        self.hook_slot_timeout = self.probes.hook(
+            "genesys.slot_timeout",
+            ("timeout_ns",),
+            "override the stuck-slot reclaim timeout (ns; 0 disables)",
+        )
+        self.hook_worker_timeout = self.probes.hook(
+            "genesys.worker_timeout",
+            ("timeout_ns",),
+            "override the stalled-worker requeue timeout (ns; 0 disables)",
+        )
+        self.hook_retry = self.probes.hook(
+            "genesys.retry",
+            ("name", "result", "attempt"),
+            "override the GPU-side retry decision for a failed blocking call",
+        )
+        self.tp_retry = self.probes.tracepoint(
+            "syscall.retry",
+            ("invocation_id", "name", "errno", "attempt", "backoff_ns"),
+            "a blocking caller got a transient errno and will retry after "
+            "capped exponential backoff",
+        )
+        self.tp_degraded = self.probes.tracepoint(
+            "recover.degraded",
+            ("hw_ids",),
+            "watchdog fell back to polling-scan servicing (missed interrupt)",
+        )
+        self.tp_reclaim = self.probes.tracepoint(
+            "recover.slot_reclaim",
+            ("invocation_id", "name", "slot_index", "was_state"),
+            "watchdog reclaimed a stuck slot with -ETIMEDOUT",
+        )
         self._scan_suppressed: set = set()
         self.outstanding = 0
         self._all_complete: Optional[Event] = None
@@ -143,6 +207,31 @@ class Genesys:
         self.completion_log: Deque[tuple] = deque()
         self.completion_log_limit = 0
         self.completion_log_dropped = 0
+        # -- recovery knobs and state (watchdog off by default: the
+        # happy path stays byte-identical to the watchdog-free design).
+        #: Watchdog period in ns; 0 disables (knob:
+        #: /sys/genesys/watchdog_period_ns, hook: genesys.watchdog).
+        self.watchdog_period_ns = 0.0
+        #: Age past which a READY/PROCESSING slot is reclaimed with
+        #: -ETIMEDOUT; 0 disables reclaim (rescan still runs).
+        self.slot_timeout_ns = 2_000_000.0
+        #: Age past which a picked-but-unstarted workqueue task is
+        #: requeued and its worker presumed stalled or dead.
+        self.worker_timeout_ns = 500_000.0
+        #: GPU-side retry/backoff for transient errnos (Section V
+        #: blocking semantics): base doubles per attempt up to the cap.
+        self.retry_base_ns = 2_000.0
+        self.retry_cap_ns = 64_000.0
+        self.max_syscall_retries = 6
+        self.retryable_errnos = frozenset(
+            {int(Errno.EINTR), int(Errno.EAGAIN)}
+        )
+        self.degraded = 0
+        self.slots_reclaimed = 0
+        self.watchdog_ticks = 0
+        self.syscall_retries = 0
+        self._watchdog_handle = None
+        self._last_progress = None
         gpu.workitem_binder = self._bind_workitem
         linux.interrupts.register_handler(self._bottom_half)
         self._register_sysfs()
@@ -231,6 +320,49 @@ class Genesys:
             write_fn=set_log_limit,
         )
 
+        def _parse_period(knob: str, raw: bytes) -> float:
+            text = raw.strip()
+            try:
+                value = float(text)
+            except (ValueError, UnicodeDecodeError):
+                raise OsError(Errno.EINVAL, f"{knob}: not a number: {text!r}") from None
+            if value != value or value < 0:  # NaN or negative
+                raise OsError(Errno.EINVAL, f"{knob}: must be >= 0, got {value!r}")
+            if value > MAX_WINDOW_NS:
+                raise OsError(
+                    Errno.EINVAL, f"{knob}: {value!r} exceeds {MAX_WINDOW_NS:.0f}"
+                )
+            return value
+
+        def set_watchdog(raw: bytes) -> None:
+            self.watchdog_period_ns = _parse_period("watchdog_period_ns", raw)
+            # Start supervising immediately if work is already in flight
+            # (otherwise the next submission arms the timer).
+            if self.outstanding > 0 or self.linux.workqueue.outstanding > 0:
+                self._arm_watchdog()
+
+        def set_slot_timeout(raw: bytes) -> None:
+            self.slot_timeout_ns = _parse_period("slot_timeout_ns", raw)
+
+        def set_worker_timeout(raw: bytes) -> None:
+            self.worker_timeout_ns = _parse_period("worker_timeout_ns", raw)
+
+        fs.add_dynamic_file(
+            "/sys/genesys/watchdog_period_ns",
+            lambda: b"%d\n" % int(self.watchdog_period_ns),
+            write_fn=set_watchdog,
+        )
+        fs.add_dynamic_file(
+            "/sys/genesys/slot_timeout_ns",
+            lambda: b"%d\n" % int(self.slot_timeout_ns),
+            write_fn=set_slot_timeout,
+        )
+        fs.add_dynamic_file(
+            "/sys/genesys/worker_timeout_ns",
+            lambda: b"%d\n" % int(self.worker_timeout_ns),
+            write_fn=set_worker_timeout,
+        )
+
     # -- GPU-side hooks -----------------------------------------------------
 
     def _bind_workitem(self, ctx: WorkItemCtx, wavefront: Wavefront) -> None:
@@ -271,6 +403,8 @@ class Genesys:
     def note_issued(self, granularity: Granularity, slot: Optional[Slot] = None) -> None:
         self.outstanding += 1
         self.invocation_counts[granularity] += 1
+        if self._watchdog_handle is None:
+            self._arm_watchdog()
         if self.tp_submit.enabled:
             request = slot.request if slot is not None else None
             if request is not None:
@@ -338,9 +472,40 @@ class Genesys:
                 if self.tp_dispatch.enabled:
                     self.tp_dispatch.fire(request.name, hw_id, request.invocation_id)
                 yield from cpu.run(self.config.syscall_base_ns)
-                result = yield from self.linux.execute(
-                    request.proc, request.name, request.args
-                )
+                injected_errno = None
+                if self.hook_fault_errno.active:
+                    injected_errno = self.hook_fault_errno.decide(
+                        None, request.name, request.invocation_id
+                    )
+                if injected_errno:
+                    # Transient failure injected at dispatch: the syscall
+                    # body never runs, so a GPU-side retry of the whole
+                    # invocation is side-effect free.
+                    result = -int(injected_errno)
+                    if self.tp_fault_errno.enabled:
+                        self.tp_fault_errno.fire(
+                            request.name, int(injected_errno), request.invocation_id
+                        )
+                else:
+                    result = yield from self.linux.execute(
+                        request.proc, request.name, request.args
+                    )
+                slot_action = None
+                if self.hook_fault_slot.active:
+                    slot_action = self.hook_fault_slot.decide(
+                        None, hw_id, slot.index, request.name
+                    )
+                if slot_action == "wedge":
+                    # The completion write never lands: the slot stays
+                    # PROCESSING until the watchdog reclaims it with
+                    # -ETIMEDOUT and surfaces that to the wavefront.
+                    if self.tp_fault_slot.enabled:
+                        self.tp_fault_slot.fire("wedge", slot.index, request.name)
+                    continue
+                if slot_action == "corrupt":
+                    if self.tp_fault_slot.enabled:
+                        self.tp_fault_slot.fire("corrupt", slot.index, request.name)
+                    result = -int(Errno.EIO)
                 # Write the result back through the shared memory path.
                 yield from self.memsystem.dram.cpu_access(self.config.cacheline_bytes)
                 if self.area.shares_cacheline(slot):
@@ -351,11 +516,13 @@ class Genesys:
                     self.memsystem.l2.invalidate(
                         slot.addr // self.config.cacheline_bytes
                     )
-                slot.finish(result)
-                self.outstanding -= 1
-                if self.outstanding == 0 and self._all_complete is not None:
-                    event, self._all_complete = self._all_complete, None
-                    event.succeed()
+                if not slot.finish(result, expected=request):
+                    # The watchdog reclaimed (and possibly reused) the
+                    # slot while we were servicing it; the reclaim did
+                    # the completion bookkeeping, so a second completion
+                    # here would double-count.
+                    continue
+                self._note_completion()
                 self.syscalls_completed += 1
                 if self.completion_log_limit and (
                     len(self.completion_log) >= self.completion_log_limit
@@ -373,6 +540,138 @@ class Genesys:
                         request.invocation_id,
                         request.blocking,
                     )
+
+    def _note_completion(self) -> None:
+        """One invocation reached a definite status (serviced or reclaimed)."""
+        self.outstanding -= 1
+        if self.outstanding == 0 and self._all_complete is not None:
+            event, self._all_complete = self._all_complete, None
+            event.succeed()
+
+    # -- watchdog / recovery -------------------------------------------------
+
+    def _effective_watchdog_period(self) -> float:
+        period = self.watchdog_period_ns
+        if self.hook_watchdog.active:
+            period = self.hook_watchdog.decide(period)
+        return period
+
+    def _arm_watchdog(self) -> None:
+        """Schedule the next watchdog tick (no-op while disabled).
+
+        The watchdog is the CPU-side supervisor the recovery paths hang
+        off: each tick requeues tasks wedged at stalled/dead workers,
+        reclaims slots stuck past their deadline, and — when a whole
+        tick passed with zero forward progress — falls back to the
+        paper's polling-scan servicing mode for READY slots whose
+        interrupt evidently never arrived.
+        """
+        if self._watchdog_handle is not None:
+            return
+        period = self._effective_watchdog_period()
+        if not period or period <= 0:
+            return
+        self._watchdog_handle = self.sim.call_later(period, self._watchdog_tick)
+
+    def _watchdog_tick(self) -> None:
+        self._watchdog_handle = None
+        workqueue = self.linux.workqueue
+        if self.outstanding <= 0 and workqueue.outstanding <= 0:
+            # Idle: stop ticking; the next submission re-arms.
+            self._last_progress = None
+            return
+        self.watchdog_ticks += 1
+        worker_timeout = self.worker_timeout_ns
+        if self.hook_worker_timeout.active:
+            worker_timeout = self.hook_worker_timeout.decide(worker_timeout)
+        requeued = workqueue.check_stalled(worker_timeout)
+        reclaimed = self._reclaim_stuck_slots()
+        progress = (
+            self.syscalls_completed,
+            self.slots_reclaimed,
+            workqueue.completed,
+            workqueue.backlog,
+            self.outstanding,
+        )
+        if progress == self._last_progress and not requeued and not reclaimed:
+            # A whole period with no movement anywhere: assume a lost
+            # interrupt and scan READY slots directly (degraded mode).
+            self._degraded_rescan()
+        self._last_progress = progress
+        self._arm_watchdog()
+
+    def _reclaim_stuck_slots(self) -> int:
+        """Force slots stuck in READY/PROCESSING past the deadline to a
+        definite -ETIMEDOUT status, waking their waiting work-items."""
+        timeout = self.slot_timeout_ns
+        if self.hook_slot_timeout.active:
+            timeout = self.hook_slot_timeout.decide(timeout)
+        if not timeout or timeout <= 0:
+            return 0
+        now = self.sim.now
+        count = 0
+        for slot in self.area.materialized():
+            if slot.state not in (SlotState.READY, SlotState.PROCESSING):
+                continue
+            if now - slot.last_transition_ns < timeout:
+                continue
+            was_state = slot.state.value
+            request = slot.reclaim(-int(Errno.ETIMEDOUT))
+            if request is None:
+                continue
+            count += 1
+            self.slots_reclaimed += 1
+            # A reclaimed READY slot usually means its interrupt was
+            # lost; drop the suppression so the wavefront's next call
+            # raises a fresh one instead of waiting on a ghost scan.
+            self._scan_suppressed.discard(slot.index // self.area.width)
+            self._note_completion()
+            if self.tp_reclaim.enabled:
+                self.tp_reclaim.fire(
+                    request.invocation_id, request.name, slot.index, was_state
+                )
+        return count
+
+    def _degraded_rescan(self) -> int:
+        """Missed-interrupt fallback: enqueue scans for every wavefront
+        with READY slots, bypassing the interrupt path entirely."""
+        hw_ids = sorted(
+            {
+                slot.index // self.area.width
+                for slot in self.area.materialized()
+                if slot.state is SlotState.READY
+            }
+        )
+        if not hw_ids:
+            return 0
+        self.degraded += 1
+        if self.tp_degraded.enabled:
+            self.tp_degraded.fire(tuple(hw_ids))
+        self._enqueue_scan(hw_ids)
+        return len(hw_ids)
+
+    # -- GPU-side retry policy ----------------------------------------------
+
+    def retry_decision(self, name: str, result, attempt: int) -> bool:
+        """Should a blocking call that returned ``result`` be retried?
+
+        Default: yes for the transient errnos (EINTR/EAGAIN) while under
+        the attempt cap.  The ``genesys.retry`` hook may override — e.g.
+        a chaos plan injecting ENOMEM widens the retryable set.
+        """
+        default = (
+            isinstance(result, int)
+            and result < 0
+            and -result in self.retryable_errnos
+            and attempt < self.max_syscall_retries
+        )
+        if self.hook_retry.active:
+            return bool(self.hook_retry.decide(default, name, result, attempt))
+        return default
+
+    def retry_backoff_ns(self, attempt: int) -> float:
+        """Capped exponential backoff for retry ``attempt`` (1-based)."""
+        return min(self.retry_cap_ns, self.retry_base_ns * (2 ** (attempt - 1)))
 
     # -- host-side services --------------------------------------------------
 
@@ -401,7 +700,7 @@ class Genesys:
             self._all_complete = self.sim.event(name="genesys-drained")
         return self._all_complete
 
-    def drain(self) -> Generator:
+    def drain(self, timeout: Optional[float] = None) -> Generator:
         """Process body: wait until all issued GPU syscalls completed.
 
         The paper's Section IX: a host-side call that must run before
@@ -412,19 +711,59 @@ class Genesys:
         re-checks on the historical 1 µs polling grid (anchored at the
         call, advanced by repeated addition exactly as the busy-wait loop
         did) so observed completion times are bit-identical.
+
+        With ``timeout`` (simulated ns) the wait is bounded: if
+        invocations or workqueue tasks are still in flight at the
+        deadline, a :class:`DrainTimeout` is raised listing the stuck
+        slots and tasks instead of hanging the event loop forever.
         """
+        from repro.sim.engine import AnyOf
+
         workqueue = self.linux.workqueue
         sim = self.sim
+        deadline = None if timeout is None else sim.now + timeout
         next_tick = sim.now
         while self.outstanding > 0 or workqueue.outstanding > 0:
-            if self.outstanding > 0:
-                yield self._when_no_outstanding()
+            if deadline is None:
+                if self.outstanding > 0:
+                    yield self._when_no_outstanding()
+                else:
+                    yield workqueue.when_idle()
             else:
-                yield workqueue.when_idle()
+                if sim.now >= deadline:
+                    raise DrainTimeout(
+                        f"drain: {self.outstanding} invocation(s) and "
+                        f"{workqueue.outstanding} workqueue task(s) still in "
+                        f"flight after {timeout:.0f}ns",
+                        stuck=self.stuck_report(),
+                    )
+                pending = (
+                    self._when_no_outstanding()
+                    if self.outstanding > 0
+                    else workqueue.when_idle()
+                )
+                yield AnyOf([pending, sim.wake_at(deadline, name="drain-deadline")])
             while next_tick < sim.now:
                 next_tick += 1000.0
             if next_tick > sim.now:
                 yield sim.wake_at(next_tick, name="drain-grid")
+
+    def stuck_report(self) -> List[str]:
+        """Descriptions of every non-FREE slot and unfinished workqueue
+        task, for DrainTimeout diagnostics."""
+        stuck = []
+        for slot in self.area.materialized():
+            if slot.state is SlotState.FREE:
+                continue
+            request = slot.request
+            name = request.name if request is not None else "?"
+            invocation = request.invocation_id if request is not None else "?"
+            stuck.append(
+                f"slot#{slot.index} {slot.state.value} name={name} "
+                f"invocation={invocation} since={slot.last_transition_ns:.0f}ns"
+            )
+        stuck.extend(self.linux.workqueue.stuck_report())
+        return stuck
 
     def stats(self) -> dict:
         return {
@@ -436,4 +775,9 @@ class Genesys:
             "invocations": {g.value: n for g, n in self.invocation_counts.items()},
             "syscall_counts": dict(self.linux.syscall_counts),
             "completion_log_dropped": self.completion_log_dropped,
+            "degraded": self.degraded,
+            "slots_reclaimed": self.slots_reclaimed,
+            "watchdog_ticks": self.watchdog_ticks,
+            "syscall_retries": self.syscall_retries,
+            "slot_protocol_errors": self.area.protocol_errors,
         }

@@ -22,6 +22,7 @@ from typing import Generator, List, Optional
 from repro.core.invocation import SyscallRequest
 from repro.machine import MachineConfig
 from repro.memory.system import MemorySystem
+from repro.probes.tracepoints import ProbeRegistry
 from repro.sim.engine import Event, Simulator
 
 SLOT_BYTES = 64
@@ -56,7 +57,8 @@ class Slot:
 
     __slots__ = (
         "index", "addr", "state", "request", "result", "completion", "sim",
-        "on_transition",
+        "on_transition", "on_protocol_error", "protocol_errors",
+        "last_transition_ns",
     )
 
     def __init__(self, sim: Simulator, index: int, addr: int):
@@ -70,22 +72,40 @@ class Slot:
         #: Optional callback(time_ns, slot, old_state, new_state, actor)
         #: for tracing the Figure-6 walk.
         self.on_transition = None
+        #: Optional callback(slot, op, detail) invoked on every rejected
+        #: transition — the SyscallArea wires it to the counted
+        #: ``slot.protocol_error`` tracepoint.
+        self.on_protocol_error = None
+        self.protocol_errors = 0
+        #: When the slot last changed state (watchdog staleness input).
+        self.last_transition_ns = 0.0
 
-    def _transition(self, new_state: SlotState, actor: str) -> None:
+    def _protocol_error(self, op: str, detail: str) -> None:
+        """Count (and surface) one rejected transition attempt."""
+        self.protocol_errors += 1
+        if self.on_protocol_error is not None:
+            self.on_protocol_error(self, op, detail)
+
+    def _transition(self, new_state: SlotState, actor: str, op: str = "transition") -> None:
         edge = (self.state, new_state)
         owner = _TRANSITIONS.get(edge)
         if owner is None:
-            raise SlotStateError(
+            detail = (
                 f"slot {self.index}: illegal transition {self.state.value} -> "
                 f"{new_state.value}"
             )
+            self._protocol_error(op, detail)
+            raise SlotStateError(detail)
         if owner != actor:
-            raise SlotStateError(
+            detail = (
                 f"slot {self.index}: transition {self.state.value} -> "
                 f"{new_state.value} belongs to the {owner.upper()}, not {actor.upper()}"
             )
+            self._protocol_error(op, detail)
+            raise SlotStateError(detail)
         old_state = self.state
         self.state = new_state
+        self.last_transition_ns = self.sim.now
         if self.on_transition is not None:
             self.on_transition(self.sim.now, self, old_state, new_state, actor)
 
@@ -95,49 +115,104 @@ class Slot:
         """The cmp-swap claim: FREE -> POPULATING, or False if busy."""
         if self.state is not SlotState.FREE:
             return False
-        self._transition(SlotState.POPULATING, "gpu")
+        self._transition(SlotState.POPULATING, "gpu", op="claim")
         return True
 
     def populate(self, request: SyscallRequest) -> None:
         if self.state is not SlotState.POPULATING:
-            raise SlotStateError(f"slot {self.index}: populate while {self.state.value}")
+            detail = f"slot {self.index}: populate while {self.state.value}"
+            self._protocol_error("populate", detail)
+            raise SlotStateError(detail)
         self.request = request
         self.result = None
         self.completion = self.sim.event(name=f"slot{self.index}-done")
 
     def set_ready(self) -> None:
         if self.request is None:
-            raise SlotStateError(f"slot {self.index}: READY without a request")
-        self._transition(SlotState.READY, "gpu")
+            detail = f"slot {self.index}: READY without a request"
+            self._protocol_error("set_ready", detail)
+            raise SlotStateError(detail)
+        self._transition(SlotState.READY, "gpu", op="set_ready")
 
     def consume(self):
         """GPU reads the result of a blocking call: FINISHED -> FREE."""
         result = self.result
-        self._transition(SlotState.FREE, "gpu")
+        self._transition(SlotState.FREE, "gpu", op="consume")
         self.request = None
         return result
 
     # -- CPU side --------------------------------------------------------
 
     def start_processing(self) -> SyscallRequest:
-        self._transition(SlotState.PROCESSING, "cpu")
+        self._transition(SlotState.PROCESSING, "cpu", op="start_processing")
         assert self.request is not None
         return self.request
 
-    def finish(self, result) -> None:
-        """CPU completes the call: FINISHED (blocking) or FREE."""
+    def finish(self, result, expected: Optional[SyscallRequest] = None) -> bool:
+        """CPU completes the call: FINISHED (blocking) or FREE.
+
+        With ``expected`` set (the request captured at
+        :meth:`start_processing`), a finish that arrives after the
+        watchdog reclaimed the slot — or after it was reclaimed *and*
+        reused by a newer request — is rejected instead of corrupting
+        the newer occupant: the stale write is counted as a
+        ``slot.protocol_error`` and ``False`` is returned so the caller
+        skips its completion bookkeeping (the reclaim already did it).
+        """
+        if expected is not None and (
+            self.request is not expected or self.state is not SlotState.PROCESSING
+        ):
+            self._protocol_error(
+                "finish",
+                f"slot {self.index}: stale finish for {expected.name!r} "
+                f"(slot now {self.state.value})",
+            )
+            return False
         if self.request is None:
-            raise SlotStateError(f"slot {self.index}: finish without a request")
+            detail = f"slot {self.index}: finish without a request"
+            self._protocol_error("finish", detail)
+            raise SlotStateError(detail)
         blocking = self.request.blocking
         self.result = result
         completion = self.completion
         if blocking:
-            self._transition(SlotState.FINISHED, "cpu")
+            self._transition(SlotState.FINISHED, "cpu", op="finish")
         else:
-            self._transition(SlotState.FREE, "cpu")
+            self._transition(SlotState.FREE, "cpu", op="finish")
             self.request = None
         if completion is not None and not completion.triggered:
             completion.succeed(result)
+        return True
+
+    def reclaim(self, result) -> Optional[SyscallRequest]:
+        """Watchdog recovery edge: force a stuck READY/PROCESSING slot
+        to completion with ``result`` (typically ``-ETIMEDOUT``).
+
+        Blocking requests land in FINISHED so the waiting work-item
+        observes a definite status and consumes it through the normal
+        FINISHED -> FREE edge; non-blocking ones go straight to FREE.
+        Returns the request that was abandoned (``None`` if the slot
+        was not actually stuck).
+        """
+        if self.state not in (SlotState.READY, SlotState.PROCESSING):
+            self._protocol_error(
+                "reclaim", f"slot {self.index}: reclaim while {self.state.value}"
+            )
+            return None
+        request = self.request
+        blocking = request.blocking if request is not None else False
+        old_state = self.state
+        self.result = result
+        self.state = SlotState.FINISHED if blocking else SlotState.FREE
+        self.last_transition_ns = self.sim.now
+        completion = self.completion
+        if not blocking:
+            self.request = None
+        if self.on_transition is not None:
+            self.on_transition(self.sim.now, self, old_state, self.state, "watchdog")
+        if completion is not None and not completion.triggered:
+            completion.succeed(result)
+        return request
 
     def __repr__(self) -> str:
         return f"Slot({self.index}, {self.state.value}, 0x{self.addr:x})"
@@ -157,6 +232,7 @@ class SyscallArea:
         config: MachineConfig,
         memsystem: MemorySystem,
         slot_stride_bytes: int = SLOT_BYTES,
+        probes: Optional[ProbeRegistry] = None,
     ):
         if slot_stride_bytes < 1 or SLOT_BYTES % slot_stride_bytes:
             raise ValueError(f"stride {slot_stride_bytes} must divide {SLOT_BYTES}")
@@ -169,6 +245,13 @@ class SyscallArea:
         self.base_addr = memsystem.alloc(
             self.num_slots * self.stride, align=config.cacheline_bytes
         )
+        registry = probes if probes is not None else ProbeRegistry(sim)
+        self.tp_protocol_error = registry.tracepoint(
+            "slot.protocol_error",
+            ("slot_index", "op", "detail"),
+            "a slot rejected a double-release / out-of-order transition",
+        )
+        self.protocol_errors = 0
         # Slots are materialised on first use: a default machine reserves
         # 40960 of them but a typical run touches a handful, and every
         # untouched slot is indistinguishable from a FREE one.  Addresses
@@ -191,7 +274,19 @@ class SyscallArea:
             slot = self._slots[index] = Slot(
                 self.sim, index, self.base_addr + index * self.stride
             )
+            slot.on_protocol_error = self._note_protocol_error
         return slot
+
+    def _note_protocol_error(self, slot: Slot, op: str, detail: str) -> None:
+        self.protocol_errors += 1
+        if self.tp_protocol_error.enabled:
+            self.tp_protocol_error.fire(slot.index, op, detail)
+
+    def materialized(self) -> List[Slot]:
+        """Slots that have ever been touched (never-materialised ones
+        are indistinguishable from FREE, so watchdog sweeps and
+        invariant checks need only these)."""
+        return [slot for slot in self._slots if slot is not None]
 
     @property
     def total_bytes(self) -> int:

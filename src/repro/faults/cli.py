@@ -1,0 +1,152 @@
+"""``python -m repro.faults`` — chaos runs and fault-plan inspection.
+
+Subcommands:
+
+``chaos``
+    Run the chaos matrix: each named experiment under each seed's
+    fault plan, asserting the liveness/safety invariants.  Exits 1 if
+    any run violates an invariant — this is the CI smoke entry point.
+
+``list``
+    Show the built-in chaos profiles and which fault classes each
+    enables.
+
+Examples::
+
+    python -m repro.faults chaos --experiments fig2,grep --seeds 1,2,3
+    python -m repro.faults chaos --json
+    python -m repro.faults list
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.faults.chaos import (
+    DEFAULT_DRAIN_TIMEOUT_NS,
+    EXPERIMENTS,
+    PROFILES,
+    run_matrix,
+)
+
+DEFAULT_SEEDS = (1, 2, 3)
+
+
+def _parse_csv(raw: str) -> List[str]:
+    return [item.strip() for item in raw.split(",") if item.strip()]
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    print(f"{'experiment':<12} {'fault classes':<52} recovery")
+    print("-" * 100)
+    for name, plan in PROFILES.items():
+        classes = ",".join(plan.active_classes()) or "-"
+        watchdog = (
+            f"watchdog={plan.watchdog_period_ns:g}ns"
+            if plan.watchdog_period_ns
+            else "watchdog=off"
+        )
+        slot = (
+            f"slot_timeout={plan.slot_timeout_ns:g}ns"
+            if plan.slot_timeout_ns
+            else "slot_timeout=off"
+        )
+        print(f"{name:<12} {classes:<52} {watchdog} {slot}")
+    return 0
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    experiments = _parse_csv(args.experiments)
+    unknown = [e for e in experiments if e not in PROFILES]
+    if unknown:
+        print(
+            f"unknown experiment(s) {unknown}; choose from {sorted(PROFILES)}",
+            file=sys.stderr,
+        )
+        return 2
+    seeds = [int(s) for s in _parse_csv(args.seeds)]
+    reports = run_matrix(
+        experiments,
+        seeds,
+        intensity=args.intensity,
+        drain_timeout_ns=args.drain_timeout_ns,
+    )
+    if args.json:
+        print(json.dumps([r.as_dict() for r in reports], indent=2))
+    else:
+        header = (
+            f"{'experiment':<12} {'seed':>4} {'ok':<4} {'sim ns':>12} "
+            f"{'faults':>6} {'retries':>7} {'reclaims':>8} {'requeues':>8} "
+            f"{'degraded':>8}"
+        )
+        print(header)
+        print("-" * len(header))
+        for r in reports:
+            print(
+                f"{r.experiment:<12} {r.seed:>4} {'ok' if r.ok else 'FAIL':<4} "
+                f"{r.elapsed_ns:>12.0f} {r.injected:>6} "
+                f"{r.recovery['syscall_retries']:>7} "
+                f"{r.recovery['slots_reclaimed']:>8} "
+                f"{r.recovery['tasks_requeued']:>8} "
+                f"{r.recovery['degraded_rescans']:>8}"
+            )
+            for violation in r.violations:
+                print(f"    violation: {violation}")
+    failures = [r for r in reports if not r.ok]
+    if failures:
+        print(
+            f"\n{len(failures)}/{len(reports)} chaos run(s) violated invariants",
+            file=sys.stderr,
+        )
+        return 1
+    if not args.json:
+        print(f"\nall {len(reports)} chaos run(s) held every invariant")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.faults",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    chaos = sub.add_parser("chaos", help="run the chaos invariant matrix")
+    chaos.add_argument(
+        "--experiments",
+        default=",".join(EXPERIMENTS),
+        help=f"comma-separated subset of {list(EXPERIMENTS)}",
+    )
+    chaos.add_argument(
+        "--seeds",
+        default=",".join(str(s) for s in DEFAULT_SEEDS),
+        help="comma-separated fault-plan seeds",
+    )
+    chaos.add_argument(
+        "--intensity",
+        type=float,
+        default=1.0,
+        help="scale every fault rate by this factor (clamped to 1.0)",
+    )
+    chaos.add_argument(
+        "--drain-timeout-ns",
+        type=float,
+        default=DEFAULT_DRAIN_TIMEOUT_NS,
+        help="simulated-time liveness bound per run",
+    )
+    chaos.add_argument("--json", action="store_true", help="machine-readable output")
+    chaos.set_defaults(fn=_cmd_chaos)
+
+    lister = sub.add_parser("list", help="show built-in chaos profiles")
+    lister.set_defaults(fn=_cmd_list)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

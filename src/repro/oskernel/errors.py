@@ -29,6 +29,7 @@ class Errno(IntEnum):
     ENOSYS = 38
     ENOTEMPTY = 39
     EADDRINUSE = 98
+    ETIMEDOUT = 110
     ECONNREFUSED = 111
 
 

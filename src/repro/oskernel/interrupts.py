@@ -37,6 +37,8 @@ class InterruptController:
         self.raised = 0
         self.serviced = 0
         self.unhandled = 0
+        self.faults_dropped = 0
+        self.faults_delayed = 0
         self._handler: Optional[Callable[[Any], None]] = None
         registry = probes if probes is not None else ProbeRegistry(sim)
         self.tp_raised = registry.tracepoint(
@@ -47,6 +49,17 @@ class InterruptController:
         )
         self.tp_unhandled = registry.tracepoint(
             "irq.unhandled", ("payload",), "interrupt dropped: no handler registered"
+        )
+        self.tp_fault = registry.tracepoint(
+            "fault.irq.injected",
+            ("action", "payload", "delay_ns"),
+            "an injected interrupt fault was applied (drop or delay)",
+        )
+        self.hook_fault = registry.hook(
+            "fault.irq",
+            ("payload",),
+            "return 'drop' to lose this interrupt, ('delay', ns) to defer "
+            "its top half, or None for normal delivery",
         )
 
     def register_handler(self, handler: Callable[[Any], None]) -> None:
@@ -68,8 +81,30 @@ class InterruptController:
             if self.tp_unhandled.enabled:
                 self.tp_unhandled.fire(payload)
             return False
+        if self.hook_fault.active:
+            action = self.hook_fault.decide(None, payload)
+            if action == "drop":
+                # The s_sendmsg was lost in flight: no top half ever
+                # runs.  Recovery is the GENESYS watchdog's job.
+                self.faults_dropped += 1
+                if self.tp_fault.enabled:
+                    self.tp_fault.fire("drop", payload, 0.0)
+                return True
+            if isinstance(action, tuple) and action and action[0] == "delay":
+                delay_ns = float(action[1])
+                self.faults_delayed += 1
+                if self.tp_fault.enabled:
+                    self.tp_fault.fire("delay", payload, delay_ns)
+                self.sim.process(
+                    self._delayed_top_half(payload, delay_ns), name="irq-delayed"
+                )
+                return True
         self.sim.process(self._top_half(payload), name="irq")
         return True
+
+    def _delayed_top_half(self, payload: Any, delay_ns: float) -> Generator:
+        yield delay_ns
+        yield from self._top_half(payload)
 
     def _top_half(self, payload: Any) -> Generator:
         yield from self.cpu.run(self.config.interrupt_handler_ns)

@@ -85,6 +85,18 @@ class Network:
         self.tp_drop = registry.tracepoint(
             "net.drop", ("reason",), "datagram dropped (loss model or unbound dest)"
         )
+        self.tp_fault = registry.tracepoint(
+            "fault.net.injected",
+            ("action", "nbytes", "delay_ns"),
+            "an injected datagram fault was applied (drop, dup, or delay)",
+        )
+        self.hook_fault = registry.hook(
+            "fault.net",
+            ("dest", "nbytes"),
+            "return 'drop' to lose the datagram, 'dup' to deliver it twice, "
+            "('delay', ns) to defer delivery, or None for normal transit",
+        )
+        self.faults_injected = 0
 
     def socket(self, host: str = "localhost") -> UdpSocket:
         return UdpSocket(self, host)
@@ -142,9 +154,42 @@ class Network:
             if self.tp_drop.enabled:
                 self.tp_drop.fire("unbound-dest")
             return len(payload)
+        datagram = Datagram(payload, (sock.host, sock.port))
+        if self.hook_fault.active:
+            action = self.hook_fault.decide(None, dest, len(payload))
+            if action == "drop":
+                self.faults_injected += 1
+                self.packets_dropped += 1
+                if self.tp_fault.enabled:
+                    self.tp_fault.fire("drop", len(payload), 0.0)
+                return len(payload)
+            if action == "dup":
+                self.faults_injected += 1
+                if self.tp_fault.enabled:
+                    self.tp_fault.fire("dup", len(payload), 0.0)
+                target.rx_packets += 1
+                target.queue.put(Datagram(payload, (sock.host, sock.port)))
+            elif isinstance(action, tuple) and action and action[0] == "delay":
+                delay_ns = float(action[1])
+                self.faults_injected += 1
+                if self.tp_fault.enabled:
+                    self.tp_fault.fire("delay", len(payload), delay_ns)
+                self.sim.process(
+                    self._deliver_later(target, datagram, delay_ns),
+                    name="net-delayed",
+                )
+                return len(payload)
         target.rx_packets += 1
-        target.queue.put(Datagram(payload, (sock.host, sock.port)))
+        target.queue.put(datagram)
         return len(payload)
+
+    def _deliver_later(
+        self, target: UdpSocket, datagram: Datagram, delay_ns: float
+    ) -> Generator:
+        yield delay_ns
+        if not target.closed:
+            target.rx_packets += 1
+            target.queue.put(datagram)
 
     def recvfrom(self, sock: UdpSocket, bufsize: int) -> Generator:
         """Process body: blocking receive; returns (payload, source)."""

@@ -62,6 +62,11 @@ class System:
             slot_stride_bytes=slot_stride_bytes,
             probes=self.probes,
         )
+        #: When set (simulated ns), :meth:`run_to_completion` bounds its
+        #: final drain and raises ``DrainTimeout`` instead of hanging —
+        #: chaos/fault runs set this so liveness violations are
+        #: diagnosable failures, not wedged event loops.
+        self.drain_timeout_ns: Optional[float] = None
         # Every hook point now exists: apply any CLI/test attach plan.
         apply_global_plan(self.probes)
 
@@ -77,7 +82,9 @@ class System:
     def run_to_completion(self, main: Generator, name: str = "main") -> Any:
         """Run ``main`` as a process, then drain outstanding GPU syscalls."""
         result = self.sim.run_process(main, name=name)
-        self.sim.run_process(self.genesys.drain(), name="drain")
+        self.sim.run_process(
+            self.genesys.drain(timeout=self.drain_timeout_ns), name="drain"
+        )
         return result
 
     def run_kernel(

@@ -54,11 +54,16 @@ STAGE_ORDER: Tuple[str, ...] = (
     "dispatch",
     "service",
     "resume",
+    # Fault/recovery marks (only present when injection or the watchdog
+    # actually fired; orthogonal to the happy-path pipeline above).
+    "timeout",
+    "retry",
 )
 
 #: Schema version of :meth:`SpanTracer.snapshot` (and of the span
-#: sections the probes metrics exporter embeds).
-SPAN_SNAPSHOT_SCHEMA = 1
+#: sections the probes metrics exporter embeds).  2 added the fault/
+#: recovery annotations: ``retries``, ``timeouts``, ``degraded_rescans``.
+SPAN_SNAPSHOT_SCHEMA = 2
 
 
 class InvocationTrace:
@@ -74,6 +79,8 @@ class InvocationTrace:
         "wait",
         "suppressed_irq",
         "scan_id",
+        "retries",
+        "timed_out",
         "marks",
         "_seen",
     )
@@ -97,6 +104,12 @@ class InvocationTrace:
         self.wait = wait
         self.suppressed_irq = False
         self.scan_id: Optional[int] = None
+        #: Retry attempt this invocation's failure triggered (0 = none);
+        #: the follow-up attempt is a fresh invocation id.
+        self.retries = 0
+        #: True when the watchdog reclaimed this invocation's slot with
+        #: ``-ETIMEDOUT`` instead of a worker finishing it.
+        self.timed_out = False
         #: [(stage, t_ns), ...] — first entry is the "claim" origin.
         self.marks: List[Tuple[str, float]] = []
         self._seen: set = set()
@@ -157,10 +170,15 @@ class InvocationTrace:
 
     def __repr__(self) -> str:
         state = "complete" if self.complete else f"open@{self.marks[-1][0]}"
+        notes = ""
+        if self.retries:
+            notes += f" retried(attempt={self.retries})"
+        if self.timed_out:
+            notes += " timed-out"
         return (
             f"InvocationTrace(#{self.invocation_id} {self.name} hw={self.hw_id} "
             f"{self.granularity} {'blocking' if self.blocking else 'non-blocking'} "
-            f"{state})"
+            f"{state}{notes})"
         )
 
 
@@ -186,6 +204,14 @@ class SpanTracer:
         self._awaiting: Dict[int, List[InvocationTrace]] = {}
         #: scan_id -> traces whose bundle became that scan task.
         self._scan_members: Dict[int, List[InvocationTrace]] = {}
+        #: invocation_id -> finalized trace (``syscall.retry`` fires
+        #: after the failed attempt already resumed, so annotation must
+        #: reach completed traces too).
+        self._by_id: Dict[int, InvocationTrace] = {}
+        #: Fault/recovery annotation totals (schema 2).
+        self.retries = 0
+        self.timeouts = 0
+        self.degraded_rescans = 0
 
     def install(self) -> "SpanTracer":
         """Attach all observers and register for snapshot export."""
@@ -199,6 +225,9 @@ class SpanTracer:
         reg.attach("syscall.dispatch", self._on_dispatch)
         reg.attach("syscall.complete", self._on_complete)
         reg.attach("syscall.resume", self._on_resume)
+        reg.attach("syscall.retry", self._on_retry)
+        reg.attach("recover.slot_reclaim", self._on_slot_reclaim)
+        reg.attach("recover.degraded", self._on_degraded)
         reg.programs.append(self)
         return self
 
@@ -270,9 +299,32 @@ class SpanTracer:
         trace.mark("resume", self.registry.now())
         self._finalize(trace)
 
+    def _on_retry(self, invocation_id, name, errno, attempt, backoff_ns):
+        self.retries += 1
+        trace = self.active.get(invocation_id) or self._by_id.get(invocation_id)
+        if trace is not None:
+            trace.mark("retry", self.registry.now())
+            trace.retries = attempt
+
+    def _on_slot_reclaim(self, invocation_id, name, slot_index, was_state):
+        self.timeouts += 1
+        trace = self.active.get(invocation_id)
+        if trace is None:
+            return
+        trace.mark("timeout", self.registry.now())
+        trace.timed_out = True
+        # A reclaimed non-blocking invocation has no waiter to resume;
+        # the -ETIMEDOUT status is its terminal mark.
+        if not trace.blocking:
+            self._finalize(trace)
+
+    def _on_degraded(self, hw_ids):
+        self.degraded_rescans += 1
+
     def _finalize(self, trace: InvocationTrace) -> None:
         del self.active[trace.invocation_id]
         self.completed.append(trace)
+        self._by_id[trace.invocation_id] = trace
 
     # -- export protocol ---------------------------------------------------
 
@@ -287,6 +339,9 @@ class SpanTracer:
             "schema": SPAN_SNAPSHOT_SCHEMA,
             "invocations": len(self.completed),
             "open": len(self.active),
+            "retries": self.retries,
+            "timeouts": self.timeouts,
+            "degraded_rescans": self.degraded_rescans,
             "stages": stage_stats(self.completed),
             "end_to_end": e2e_stats(self.completed),
         }

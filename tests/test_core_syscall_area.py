@@ -167,3 +167,80 @@ class TestSyscallRequest:
     def test_repr_mentions_blocking(self, sim):
         proc = OsProcess(sim, "p")
         assert "non-blocking" in repr(SyscallRequest("x", (), False, proc))
+
+
+class TestProtocolErrorAccounting:
+    """Satellite: illegal transitions are not just raised — they are
+    counted per slot and per area, and fire ``slot.protocol_error`` so
+    chaos runs can see double-releases and stale finishes."""
+
+    def test_illegal_transition_counts(self, sim, area):
+        slot = area.slot_for(0, 0)
+        drive_to_ready(sim, slot)
+        slot.start_processing()
+        slot.finish(0)
+        before = slot.protocol_errors
+        with pytest.raises(SlotStateError):
+            slot.finish(0)  # double release
+        assert slot.protocol_errors == before + 1
+
+    def test_area_aggregates_protocol_errors_and_fires_tracepoint(self, sim):
+        from repro.probes.tracepoints import ProbeRegistry
+
+        config = small_machine()
+        registry = ProbeRegistry(sim)
+        area = SyscallArea(sim, config, MemorySystem(sim, config), probes=registry)
+        fired = []
+        registry.attach(
+            "slot.protocol_error",
+            lambda slot_index, op, detail: fired.append((slot_index, op)),
+        )
+        slot = area.slot_for(0, 0)
+        with pytest.raises(SlotStateError):
+            slot.start_processing()  # out-of-order: FREE -> PROCESSING
+        assert area.protocol_errors == 1
+        assert fired == [(slot.index, "start_processing")]
+
+    def test_stale_finish_rejected_without_raising(self, sim, area):
+        """A worker finishing a slot the watchdog already reclaimed (and
+        a new request re-claimed) must be refused: no duplicate
+        completion, no exception on the worker path."""
+        slot = area.slot_for(0, 0)
+        drive_to_ready(sim, slot)
+        stale = slot.start_processing()
+        # Watchdog reclaims the stuck slot, waking the waiter...
+        assert slot.reclaim(-110) is stale
+        slot.consume()
+        # ...and the slot is re-used by a fresh invocation.
+        drive_to_ready(sim, slot)
+        fresh = slot.start_processing()
+        before = slot.protocol_errors
+        assert slot.finish(0, expected=stale) is False
+        assert slot.protocol_errors == before + 1
+        assert slot.state is SlotState.PROCESSING  # fresh request untouched
+        assert slot.finish(1, expected=fresh) is True
+        assert slot.consume() == 1
+
+    def test_reclaim_of_non_stuck_slot_refused(self, sim, area):
+        slot = area.slot_for(0, 0)
+        before = slot.protocol_errors
+        assert slot.reclaim(-110) is None
+        assert slot.protocol_errors == before + 1
+        assert slot.state is SlotState.FREE
+
+    def test_reclaim_blocking_lands_finished_with_status(self, sim, area):
+        slot = area.slot_for(0, 0)
+        drive_to_ready(sim, slot)
+        request = slot.reclaim(-110)
+        assert request is not None
+        assert slot.state is SlotState.FINISHED
+        assert slot.completion.triggered
+        assert slot.consume() == -110
+        assert slot.state is SlotState.FREE
+
+    def test_reclaim_non_blocking_lands_free(self, sim, area):
+        slot = area.slot_for(0, 0)
+        drive_to_ready(sim, slot, blocking=False)
+        slot.start_processing()
+        assert slot.reclaim(-110) is not None
+        assert slot.state is SlotState.FREE

@@ -18,6 +18,7 @@ EXAMPLES = [
     "gpu_pipeline",
     "probes_demo",
     "tracing_demo",
+    "faults_demo",
 ]
 
 

@@ -247,7 +247,7 @@ class TestAnalysis:
         run_rw_workload(system)
         snap = tracer.snapshot()
         assert snap["kind"] == "spans"
-        assert snap["schema"] == 1
+        assert snap["schema"] == 2
         assert snap["invocations"] == len(tracer.completed)
         json.dumps(snap)
 
@@ -520,5 +520,5 @@ class TestTracingCli:
         ]
         assert sections
         for section in sections:
-            assert section["schema"] == 1
+            assert section["schema"] == 2
             assert set(section["stages"]) <= set(STAGE_ORDER)
