@@ -24,7 +24,7 @@ from __future__ import annotations
 from collections import Counter
 from dataclasses import dataclass
 from enum import Enum
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
 
 class Category(Enum):
@@ -278,9 +278,9 @@ def by_group(category: Optional[Category] = None) -> Dict[Group, List[SyscallCla
     return out
 
 
-def table2_rows() -> List[dict]:
+def table2_rows() -> List[Dict[str, Optional[str]]]:
     """The paper's Table II: example non-implementable calls + reasons."""
-    rows = []
+    rows: List[Dict[str, Optional[str]]] = []
     for entry in SYSCALL_TABLE:
         if entry.category is Category.HW_CHANGES:
             rows.append(
@@ -289,7 +289,7 @@ def table2_rows() -> List[dict]:
     return rows
 
 
-def summary() -> dict:
+def summary() -> Dict[str, Any]:
     """Headline numbers matching the paper's Section IV claims."""
     counts = count_by_category()
     total = total_syscalls()

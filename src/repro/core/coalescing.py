@@ -29,7 +29,7 @@ class CoalescingConfig:
 
     __slots__ = ("window_ns", "max_batch")
 
-    def __init__(self, window_ns: float = 0.0, max_batch: int = 1):
+    def __init__(self, window_ns: float = 0.0, max_batch: int = 1) -> None:
         if window_ns < 0:
             raise ValueError("window must be non-negative")
         if max_batch < 1:
@@ -61,7 +61,7 @@ class Coalescer:
         config: CoalescingConfig,
         flush_fn: Callable[[List[Any]], None],
         probes: Optional[ProbeRegistry] = None,
-    ):
+    ) -> None:
         self.sim = sim
         self.config = config
         self.flush_fn = flush_fn
@@ -122,7 +122,7 @@ class Coalescer:
         if len(self._bundle) >= self._bundle_batch:
             self._flush()
 
-    def _window_timer(self, seq: int, window_ns: float) -> Generator:
+    def _window_timer(self, seq: int, window_ns: float) -> Generator[Any, Any, None]:
         yield window_ns
         # Only flush if this timer's bundle is still the open one.
         if seq == self._bundle_seq and self._bundle:

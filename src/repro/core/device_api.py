@@ -18,7 +18,7 @@ arise from the same code path the workloads use.
 
 from __future__ import annotations
 
-from typing import Generator, Optional, Tuple, TYPE_CHECKING
+from typing import Any, Dict, Generator, Optional, Tuple, TYPE_CHECKING
 
 from repro.core.invocation import (
     Granularity,
@@ -44,7 +44,7 @@ class SyscallHandle:
 
     __slots__ = ("slot", "request")
 
-    def __init__(self, slot: Slot, request: SyscallRequest):
+    def __init__(self, slot: Slot, request: SyscallRequest) -> None:
         self.slot = slot
         self.request = request
 
@@ -81,7 +81,9 @@ class _SlotOps:
         "consume",
     )
 
-    def __init__(self, genesys: "Genesys", slot: Slot, hw_id: int, cfg) -> None:
+    def __init__(
+        self, genesys: "Genesys", slot: Slot, hw_id: int, cfg: Any
+    ) -> None:
         self.slot = slot
         self.claim_cas = Atomic("cmp-swap", slot.addr)
         self.try_claim = Do(slot.try_claim)
@@ -89,7 +91,7 @@ class _SlotOps:
         self.populate_write = MemWrite(slot.addr, cfg.cacheline_bytes)
         self.publish_swap = Atomic("swap", slot.addr)
         self.set_ready = Do(slot.set_ready)
-        self.note_issued = {
+        self.note_issued: Dict[Granularity, Do] = {
             g: Do(lambda g=g: genesys.note_issued(g, slot)) for g in Granularity
         }
         self.sendmsg = Sleep(cfg.sendmsg_ns)
@@ -101,7 +103,9 @@ class _SlotOps:
 
 
 class DeviceApi:
-    def __init__(self, genesys: "Genesys", ctx: "WorkItemCtx", wavefront: "Wavefront"):
+    def __init__(
+        self, genesys: "Genesys", ctx: "WorkItemCtx", wavefront: "Wavefront"
+    ) -> None:
         self._genesys = genesys
         self._ctx = ctx
         self._wavefront = wavefront
@@ -114,12 +118,12 @@ class DeviceApi:
     def invoke(
         self,
         name: str,
-        *args,
+        *args: Any,
         granularity: Granularity = Granularity.WORK_ITEM,
         ordering: Ordering = Ordering.STRONG,
         blocking: bool = True,
         wait: WaitMode = WaitMode.POLL,
-    ) -> Generator:
+    ) -> Generator[Any, Any, Any]:
         """Sub-generator: invoke syscall ``name`` with the given strategy.
 
         Returns the call's result for blocking invocations reaching this
@@ -154,12 +158,12 @@ class DeviceApi:
     def _workgroup_invoke(
         self,
         name: str,
-        args: tuple,
+        args: Tuple[Any, ...],
         kind: SyscallKind,
         ordering: Ordering,
         blocking: bool,
         wait: WaitMode,
-    ) -> Generator:
+    ) -> Generator[Any, Any, Any]:
         self._seq += 1
         key = ("sysres", self._seq)
         group = self._ctx.group
@@ -179,8 +183,8 @@ class DeviceApi:
         return group.shared.get(key) if self._ctx.is_group_leader else None
 
     def _kernel_invoke(
-        self, name: str, args: tuple, ordering: Ordering, blocking: bool, wait: WaitMode
-    ) -> Generator:
+        self, name: str, args: Tuple[Any, ...], ordering: Ordering, blocking: bool, wait: WaitMode
+    ) -> Generator[Any, Any, Any]:
         from repro.core.genesys import OrderingError
 
         if ordering is Ordering.STRONG:
@@ -200,11 +204,11 @@ class DeviceApi:
     def _raw_invoke(
         self,
         name: str,
-        args: tuple,
+        args: Tuple[Any, ...],
         blocking: bool,
         wait: WaitMode,
         granularity: Granularity,
-    ) -> Generator:
+    ) -> Generator[Any, Any, Any]:
         genesys = self._genesys
         ops = self._ops
         if ops is None:
@@ -302,70 +306,70 @@ class DeviceApi:
 
     # -- POSIX-named conveniences ------------------------------------------------
 
-    def open(self, path: str, flags: int = 0, **opts) -> Generator:
+    def open(self, path: str, flags: int = 0, **opts: Any) -> Generator[Any, Any, Any]:
         result = yield from self.invoke("open", path, flags, **opts)
         return result
 
-    def close(self, fd: int, **opts) -> Generator:
+    def close(self, fd: int, **opts: Any) -> Generator[Any, Any, Any]:
         result = yield from self.invoke("close", fd, **opts)
         return result
 
-    def read(self, fd: int, buf: Buffer, count: int, **opts) -> Generator:
+    def read(self, fd: int, buf: Buffer, count: int, **opts: Any) -> Generator[Any, Any, Any]:
         result = yield from self.invoke("read", fd, buf, count, **opts)
         return result
 
-    def write(self, fd: int, buf: Buffer, count: int, **opts) -> Generator:
+    def write(self, fd: int, buf: Buffer, count: int, **opts: Any) -> Generator[Any, Any, Any]:
         result = yield from self.invoke("write", fd, buf, count, **opts)
         return result
 
-    def pread(self, fd: int, buf: Buffer, count: int, offset: int, **opts) -> Generator:
+    def pread(self, fd: int, buf: Buffer, count: int, offset: int, **opts: Any) -> Generator[Any, Any, Any]:
         result = yield from self.invoke("pread", fd, buf, count, offset, **opts)
         return result
 
-    def pwrite(self, fd: int, buf: Buffer, count: int, offset: int, **opts) -> Generator:
+    def pwrite(self, fd: int, buf: Buffer, count: int, offset: int, **opts: Any) -> Generator[Any, Any, Any]:
         result = yield from self.invoke("pwrite", fd, buf, count, offset, **opts)
         return result
 
-    def lseek(self, fd: int, offset: int, whence: int, **opts) -> Generator:
+    def lseek(self, fd: int, offset: int, whence: int, **opts: Any) -> Generator[Any, Any, Any]:
         result = yield from self.invoke("lseek", fd, offset, whence, **opts)
         return result
 
-    def socket(self, host: str = "localhost", **opts) -> Generator:
+    def socket(self, host: str = "localhost", **opts: Any) -> Generator[Any, Any, Any]:
         result = yield from self.invoke("socket", host, **opts)
         return result
 
-    def bind(self, fd: int, port: int, **opts) -> Generator:
+    def bind(self, fd: int, port: int, **opts: Any) -> Generator[Any, Any, Any]:
         result = yield from self.invoke("bind", fd, port, **opts)
         return result
 
-    def sendto(self, fd: int, buf: Buffer, count: int, dest: Tuple[str, int], **opts) -> Generator:
+    def sendto(self, fd: int, buf: Buffer, count: int, dest: Tuple[str, int], **opts: Any) -> Generator[Any, Any, Any]:
         result = yield from self.invoke("sendto", fd, buf, count, dest, **opts)
         return result
 
-    def recvfrom(self, fd: int, buf: Buffer, count: int, **opts) -> Generator:
+    def recvfrom(self, fd: int, buf: Buffer, count: int, **opts: Any) -> Generator[Any, Any, Any]:
         result = yield from self.invoke("recvfrom", fd, buf, count, **opts)
         return result
 
-    def mmap(self, length: int, fd: Optional[int] = None, offset: int = 0, **opts) -> Generator:
+    def mmap(self, length: int, fd: Optional[int] = None, offset: int = 0, **opts: Any) -> Generator[Any, Any, Any]:
         result = yield from self.invoke("mmap", length, fd, offset, **opts)
         return result
 
-    def munmap(self, addr: int, length: int, **opts) -> Generator:
+    def munmap(self, addr: int, length: int, **opts: Any) -> Generator[Any, Any, Any]:
         result = yield from self.invoke("munmap", addr, length, **opts)
         return result
 
-    def madvise(self, addr: int, length: int, advice: int, **opts) -> Generator:
+    def madvise(self, addr: int, length: int, advice: int, **opts: Any) -> Generator[Any, Any, Any]:
         result = yield from self.invoke("madvise", addr, length, advice, **opts)
         return result
 
-    def getrusage(self, **opts) -> Generator:
+    def getrusage(self, **opts: Any) -> Generator[Any, Any, Any]:
         result = yield from self.invoke("getrusage", **opts)
         return result
 
-    def rt_sigqueueinfo(self, pid: int, signo: int, value: int, **opts) -> Generator:
+    def rt_sigqueueinfo(self, pid: int, signo: int, value: int, **opts: Any) -> Generator[Any, Any, Any]:
         result = yield from self.invoke("rt_sigqueueinfo", pid, signo, value, **opts)
         return result
 
-    def ioctl(self, fd: int, cmd: int, arg=None, **opts) -> Generator:
+    def ioctl(self, fd: int, cmd: int, arg: Any = None, **opts: Any) -> Generator[Any, Any, Any]:
         result = yield from self.invoke("ioctl", fd, cmd, arg, **opts)
         return result

@@ -20,7 +20,7 @@ device API onto every work-item the GPU starts.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Dict, Generator, List, Optional
+from typing import Any, Deque, Dict, Generator, List, Optional, Set, Tuple
 
 from repro.core.coalescing import CoalescingConfig, Coalescer
 from repro.core.invocation import Granularity, SyscallRequest, WaitMode
@@ -35,7 +35,7 @@ from repro.oskernel.linux import LinuxKernel
 from repro.oskernel.process import OsProcess
 from repro.oskernel.workqueue import DrainTimeout
 from repro.probes.tracepoints import ProbeRegistry
-from repro.sim.engine import Event, Simulator
+from repro.sim.engine import Event, Simulator, _TimerHandle
 
 #: Sanity ceilings for the sysfs coalescing knobs: a window beyond ten
 #: simulated seconds or a batch beyond the whole syscall area is a typo,
@@ -69,7 +69,7 @@ class Genesys:
         coalescing: Optional[CoalescingConfig] = None,
         slot_stride_bytes: int = 64,
         probes: Optional[ProbeRegistry] = None,
-    ):
+    ) -> None:
         self.sim = sim
         self.config = config
         self.linux = linux
@@ -189,7 +189,7 @@ class Genesys:
             ("invocation_id", "name", "slot_index", "was_state"),
             "watchdog reclaimed a stuck slot with -ETIMEDOUT",
         )
-        self._scan_suppressed: set = set()
+        self._scan_suppressed: Set[int] = set()
         self.outstanding = 0
         self._all_complete: Optional[Event] = None
         self.invocation_counts: Dict[Granularity, int] = {g: 0 for g in Granularity}
@@ -204,7 +204,7 @@ class Genesys:
         #: bounded: ``completion_log_limit`` > 0 keeps only the newest
         #: entries (knob: /sys/genesys/completion_log_limit) and counts
         #: everything discarded in ``completion_log_dropped``.
-        self.completion_log: Deque[tuple] = deque()
+        self.completion_log: Deque[Tuple[str, int, float, float]] = deque()
         self.completion_log_limit = 0
         self.completion_log_dropped = 0
         # -- recovery knobs and state (watchdog off by default: the
@@ -230,8 +230,8 @@ class Genesys:
         self.slots_reclaimed = 0
         self.watchdog_ticks = 0
         self.syscall_retries = 0
-        self._watchdog_handle = None
-        self._last_progress = None
+        self._watchdog_handle: Optional[_TimerHandle] = None
+        self._last_progress: Optional[Tuple[int, int, int, int, int]] = None
         gpu.workitem_binder = self._bind_workitem
         linux.interrupts.register_handler(self._bottom_half)
         self._register_sysfs()
@@ -450,7 +450,7 @@ class Genesys:
             self.tp_scan_enqueue.fire(scan_id, tuple(hw_ids))
         self.linux.workqueue.submit(lambda: self._scan_task(scan_id, list(hw_ids)))
 
-    def _scan_task(self, scan_id: int, hw_ids: List[int]) -> Generator:
+    def _scan_task(self, scan_id: int, hw_ids: List[int]) -> Generator[Any, Any, None]:
         """Steps 3c-5: worker thread scans slots and services the calls.
 
         All calls in the bundle run sequentially on this one worker —
@@ -472,7 +472,7 @@ class Genesys:
                 if self.tp_dispatch.enabled:
                     self.tp_dispatch.fire(request.name, hw_id, request.invocation_id)
                 yield from cpu.run(self.config.syscall_base_ns)
-                injected_errno = None
+                injected_errno: Any = None
                 if self.hook_fault_errno.active:
                     injected_errno = self.hook_fault_errno.decide(
                         None, request.name, request.invocation_id
@@ -490,7 +490,7 @@ class Genesys:
                     result = yield from self.linux.execute(
                         request.proc, request.name, request.args
                     )
-                slot_action = None
+                slot_action: Any = None
                 if self.hook_fault_slot.active:
                     slot_action = self.hook_fault_slot.decide(
                         None, hw_id, slot.index, request.name
@@ -652,7 +652,7 @@ class Genesys:
 
     # -- GPU-side retry policy ----------------------------------------------
 
-    def retry_decision(self, name: str, result, attempt: int) -> bool:
+    def retry_decision(self, name: str, result: Any, attempt: int) -> bool:
         """Should a blocking call that returned ``result`` be retried?
 
         Default: yes for the transient errnos (EINTR/EAGAIN) while under
@@ -700,7 +700,7 @@ class Genesys:
             self._all_complete = self.sim.event(name="genesys-drained")
         return self._all_complete
 
-    def drain(self, timeout: Optional[float] = None) -> Generator:
+    def drain(self, timeout: Optional[float] = None) -> Generator[Any, Any, None]:
         """Process body: wait until all issued GPU syscalls completed.
 
         The paper's Section IX: a host-side call that must run before
@@ -751,7 +751,7 @@ class Genesys:
     def stuck_report(self) -> List[str]:
         """Descriptions of every non-FREE slot and unfinished workqueue
         task, for DrainTimeout diagnostics."""
-        stuck = []
+        stuck: List[str] = []
         for slot in self.area.materialized():
             if slot.state is SlotState.FREE:
                 continue
@@ -765,7 +765,7 @@ class Genesys:
         stuck.extend(self.linux.workqueue.stuck_report())
         return stuck
 
-    def stats(self) -> dict:
+    def stats(self) -> Dict[str, Any]:
         return {
             "interrupts_sent": self.interrupts_sent,
             "syscalls_completed": self.syscalls_completed,

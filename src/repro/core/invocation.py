@@ -19,7 +19,7 @@ pre-call barrier) — Section V-A's producer/consumer analysis.
 from __future__ import annotations
 
 from enum import Enum
-from typing import Optional, Tuple, TYPE_CHECKING
+from typing import Any, Dict, Optional, Tuple, TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.oskernel.process import OsProcess
@@ -52,7 +52,7 @@ class SyscallKind(Enum):
 
 
 #: Which implemented syscalls are producers vs consumers.
-SYSCALL_KINDS = {
+SYSCALL_KINDS: Dict[str, SyscallKind] = {
     "open": SyscallKind.PRODUCER,
     "read": SyscallKind.PRODUCER,
     "pread": SyscallKind.PRODUCER,
@@ -97,12 +97,12 @@ class SyscallRequest:
     def __init__(
         self,
         name: str,
-        args: Tuple,
+        args: Tuple[Any, ...],
         blocking: bool,
         proc: "OsProcess",
         issued_at: Optional[float] = None,
         invocation_id: Optional[int] = None,
-    ):
+    ) -> None:
         if len(args) > self.MAX_ARGS:
             raise ValueError(
                 f"syscall {name!r}: {len(args)} args exceeds the "

@@ -17,12 +17,12 @@ the false-sharing ablation can quantify why the paper did not do that.
 from __future__ import annotations
 
 from enum import Enum
-from typing import Generator, List, Optional
+from typing import Any, Callable, Generator, List, Optional
 
 from repro.core.invocation import SyscallRequest
 from repro.machine import MachineConfig
 from repro.memory.system import MemorySystem
-from repro.probes.tracepoints import ProbeRegistry
+from repro.probes.tracepoints import NULL_TRACEPOINT, ProbeRegistry
 from repro.sim.engine import Event, Simulator
 
 SLOT_BYTES = 64
@@ -58,33 +58,41 @@ class Slot:
     __slots__ = (
         "index", "addr", "state", "request", "result", "completion", "sim",
         "on_transition", "on_protocol_error", "protocol_errors",
-        "last_transition_ns",
+        "last_transition_ns", "tp_transition",
     )
 
-    def __init__(self, sim: Simulator, index: int, addr: int):
+    def __init__(self, sim: Simulator, index: int, addr: int) -> None:
         self.sim = sim
         self.index = index
         self.addr = addr
         self.state = SlotState.FREE
         self.request: Optional[SyscallRequest] = None
-        self.result = None
+        self.result: Any = None
         self.completion: Optional[Event] = None
         #: Optional callback(time_ns, slot, old_state, new_state, actor)
         #: for tracing the Figure-6 walk.
-        self.on_transition = None
-        #: Optional callback(slot, op, detail) invoked on every rejected
-        #: transition — the SyscallArea wires it to the counted
-        #: ``slot.protocol_error`` tracepoint.
-        self.on_protocol_error = None
+        self.on_transition: Optional[
+            Callable[[float, "Slot", SlotState, SlotState, str], None]
+        ] = None
+        #: Optional callback(slot, op, actor, detail) invoked on every
+        #: rejected transition — the SyscallArea wires it to the counted
+        #: ``slot.protocol_error`` tracepoint.  ``actor`` names who broke
+        #: the protocol ("gpu", "cpu" or "watchdog").
+        self.on_protocol_error: Optional[
+            Callable[["Slot", str, str, str], None]
+        ] = None
         self.protocol_errors = 0
         #: When the slot last changed state (watchdog staleness input).
         self.last_transition_ns = 0.0
+        #: Shared ``slot.transition`` tracepoint (area-wide), wired by
+        #: :meth:`SyscallArea._slot_at`; inert by default.
+        self.tp_transition = NULL_TRACEPOINT
 
-    def _protocol_error(self, op: str, detail: str) -> None:
+    def _protocol_error(self, op: str, detail: str, actor: str) -> None:
         """Count (and surface) one rejected transition attempt."""
         self.protocol_errors += 1
         if self.on_protocol_error is not None:
-            self.on_protocol_error(self, op, detail)
+            self.on_protocol_error(self, op, actor, detail)
 
     def _transition(self, new_state: SlotState, actor: str, op: str = "transition") -> None:
         edge = (self.state, new_state)
@@ -92,20 +100,24 @@ class Slot:
         if owner is None:
             detail = (
                 f"slot {self.index}: illegal transition {self.state.value} -> "
-                f"{new_state.value}"
+                f"{new_state.value} by {actor}"
             )
-            self._protocol_error(op, detail)
+            self._protocol_error(op, detail, actor)
             raise SlotStateError(detail)
         if owner != actor:
             detail = (
                 f"slot {self.index}: transition {self.state.value} -> "
                 f"{new_state.value} belongs to the {owner.upper()}, not {actor.upper()}"
             )
-            self._protocol_error(op, detail)
+            self._protocol_error(op, detail, actor)
             raise SlotStateError(detail)
         old_state = self.state
         self.state = new_state
         self.last_transition_ns = self.sim.now
+        if self.tp_transition.enabled:
+            self.tp_transition.fire(
+                self.index, old_state.value, new_state.value, actor
+            )
         if self.on_transition is not None:
             self.on_transition(self.sim.now, self, old_state, new_state, actor)
 
@@ -121,7 +133,7 @@ class Slot:
     def populate(self, request: SyscallRequest) -> None:
         if self.state is not SlotState.POPULATING:
             detail = f"slot {self.index}: populate while {self.state.value}"
-            self._protocol_error("populate", detail)
+            self._protocol_error("populate", detail, "gpu")
             raise SlotStateError(detail)
         self.request = request
         self.result = None
@@ -130,11 +142,11 @@ class Slot:
     def set_ready(self) -> None:
         if self.request is None:
             detail = f"slot {self.index}: READY without a request"
-            self._protocol_error("set_ready", detail)
+            self._protocol_error("set_ready", detail, "gpu")
             raise SlotStateError(detail)
         self._transition(SlotState.READY, "gpu", op="set_ready")
 
-    def consume(self):
+    def consume(self) -> Any:
         """GPU reads the result of a blocking call: FINISHED -> FREE."""
         result = self.result
         self._transition(SlotState.FREE, "gpu", op="consume")
@@ -148,7 +160,9 @@ class Slot:
         assert self.request is not None
         return self.request
 
-    def finish(self, result, expected: Optional[SyscallRequest] = None) -> bool:
+    def finish(
+        self, result: Any, expected: Optional[SyscallRequest] = None
+    ) -> bool:
         """CPU completes the call: FINISHED (blocking) or FREE.
 
         With ``expected`` set (the request captured at
@@ -166,11 +180,12 @@ class Slot:
                 "finish",
                 f"slot {self.index}: stale finish for {expected.name!r} "
                 f"(slot now {self.state.value})",
+                "cpu",
             )
             return False
         if self.request is None:
             detail = f"slot {self.index}: finish without a request"
-            self._protocol_error("finish", detail)
+            self._protocol_error("finish", detail, "cpu")
             raise SlotStateError(detail)
         blocking = self.request.blocking
         self.result = result
@@ -184,7 +199,7 @@ class Slot:
             completion.succeed(result)
         return True
 
-    def reclaim(self, result) -> Optional[SyscallRequest]:
+    def reclaim(self, result: Any) -> Optional[SyscallRequest]:
         """Watchdog recovery edge: force a stuck READY/PROCESSING slot
         to completion with ``result`` (typically ``-ETIMEDOUT``).
 
@@ -196,7 +211,9 @@ class Slot:
         """
         if self.state not in (SlotState.READY, SlotState.PROCESSING):
             self._protocol_error(
-                "reclaim", f"slot {self.index}: reclaim while {self.state.value}"
+                "reclaim",
+                f"slot {self.index}: reclaim while {self.state.value}",
+                "watchdog",
             )
             return None
         request = self.request
@@ -208,6 +225,10 @@ class Slot:
         completion = self.completion
         if not blocking:
             self.request = None
+        if self.tp_transition.enabled:
+            self.tp_transition.fire(
+                self.index, old_state.value, self.state.value, "watchdog"
+            )
         if self.on_transition is not None:
             self.on_transition(self.sim.now, self, old_state, self.state, "watchdog")
         if completion is not None and not completion.triggered:
@@ -233,7 +254,7 @@ class SyscallArea:
         memsystem: MemorySystem,
         slot_stride_bytes: int = SLOT_BYTES,
         probes: Optional[ProbeRegistry] = None,
-    ):
+    ) -> None:
         if slot_stride_bytes < 1 or SLOT_BYTES % slot_stride_bytes:
             raise ValueError(f"stride {slot_stride_bytes} must divide {SLOT_BYTES}")
         self.sim = sim
@@ -248,8 +269,14 @@ class SyscallArea:
         registry = probes if probes is not None else ProbeRegistry(sim)
         self.tp_protocol_error = registry.tracepoint(
             "slot.protocol_error",
-            ("slot_index", "op", "detail"),
-            "a slot rejected a double-release / out-of-order transition",
+            ("slot_index", "op", "actor", "detail"),
+            "a slot rejected a double-release / out-of-order transition; "
+            "actor names who attempted it (gpu/cpu/watchdog)",
+        )
+        self.tp_transition = registry.tracepoint(
+            "slot.transition",
+            ("slot_index", "old", "new", "actor"),
+            "a slot walked one legal Figure-6 state-machine edge",
         )
         self.protocol_errors = 0
         # Slots are materialised on first use: a default machine reserves
@@ -275,12 +302,13 @@ class SyscallArea:
                 self.sim, index, self.base_addr + index * self.stride
             )
             slot.on_protocol_error = self._note_protocol_error
+            slot.tp_transition = self.tp_transition
         return slot
 
-    def _note_protocol_error(self, slot: Slot, op: str, detail: str) -> None:
+    def _note_protocol_error(self, slot: Slot, op: str, actor: str, detail: str) -> None:
         self.protocol_errors += 1
         if self.tp_protocol_error.enabled:
-            self.tp_protocol_error.fire(slot.index, op, detail)
+            self.tp_protocol_error.fire(slot.index, op, actor, detail)
 
     def materialized(self) -> List[Slot]:
         """Slots that have ever been touched (never-materialised ones

@@ -108,13 +108,17 @@ class WorkQueue:
         registry = probes if probes is not None else ProbeRegistry(sim)
         self.probes = registry
         self.tp_enqueue = registry.tracepoint(
-            "wq.enqueue", ("backlog",), "task submitted; backlog after enqueue"
+            "wq.enqueue",
+            ("backlog", "task_index"),
+            "task submitted; backlog after enqueue",
         )
         self.tp_dequeue = registry.tracepoint(
-            "wq.dequeue", ("worker_id",), "worker picked up a task"
+            "wq.dequeue", ("worker_id", "task_index"), "worker picked up a task"
         )
         self.tp_complete = registry.tracepoint(
-            "wq.complete", ("worker_id", "service_ns"), "task finished on a worker"
+            "wq.complete",
+            ("worker_id", "service_ns", "task_index"),
+            "task finished on a worker",
         )
         self.hook_worker = registry.hook(
             "wq.worker",
@@ -176,7 +180,7 @@ class WorkQueue:
                 queue = self._private[choice]
         queue.put(record)
         if self.tp_enqueue.enabled:
-            self.tp_enqueue.fire(self.backlog)
+            self.tp_enqueue.fire(self.backlog, index)
 
     def _worker_loop(self, worker_id: int) -> Generator:
         private = self._private[worker_id]
@@ -223,7 +227,7 @@ class WorkQueue:
         if observing:
             picked_at = self.sim.now
             if self.tp_dequeue.enabled:
-                self.tp_dequeue.fire(worker_id)
+                self.tp_dequeue.fire(worker_id, record.index)
         if self.hook_fault.active:
             action = self.hook_fault.decide(None, worker_id, record.index)
             if action == "kill":
@@ -254,7 +258,7 @@ class WorkQueue:
         self._inflight.pop(record.index, None)
         self.completed += 1
         if observing and self.tp_complete.enabled:
-            self.tp_complete.fire(worker_id, self.sim.now - picked_at)
+            self.tp_complete.fire(worker_id, self.sim.now - picked_at, record.index)
         if self.submitted == self.completed and self._idle_event is not None:
             event, self._idle_event = self._idle_event, None
             event.succeed()

@@ -1,0 +1,5 @@
+import sys
+
+from repro.sanitizers.cli import main
+
+sys.exit(main())

@@ -1,0 +1,269 @@
+"""Shared AST helpers for the static checks in ``repro.sanitizers``.
+
+Two jobs, both reused by :mod:`repro.sanitizers.lint` and the
+registry-drift test in ``tests/test_sanitizers_registry.py``:
+
+* enumerate every static *tracepoint declaration* — a call of the form
+  ``<registry>.tracepoint("name", (arg, ...), doc)`` — recording the
+  declared name, its arity, and the attribute it was assigned to
+  (``self.tp_submit = ...``), so fire sites can be resolved back to
+  their declarations without importing anything;
+
+* enumerate every ``<receiver>.fire(...)`` call site, resolving the
+  receiver to a tracepoint attribute key.  Receivers come in three
+  shapes, all handled: ``self.tp_x.fire(...)``, a cross-module
+  ``other.tp_x.fire(...)``, and a local alias
+  (``tp = self.gpu.tp_wf_halt`` then ``tp.fire(...)``).
+
+Resolution is module-first: an attribute key declared in the same
+module wins (``tp_complete`` names different tracepoints in genesys
+and the workqueue); otherwise any module's declaration of that
+attribute may match.  Sites that splat ``*args`` have unknown arity
+and are skipped by the arity check.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Tuple
+
+
+class TracepointDecl:
+    """One static ``registry.tracepoint(...)`` declaration."""
+
+    __slots__ = ("name", "arity", "attr", "path", "lineno")
+
+    def __init__(
+        self,
+        name: str,
+        arity: Optional[int],
+        attr: Optional[str],
+        path: str,
+        lineno: int,
+    ):
+        self.name = name
+        #: Number of declared fire arguments; ``None`` when the args
+        #: tuple is not a literal (arity then matches anything).
+        self.arity = arity
+        #: Attribute the tracepoint was bound to (``tp_submit``), or
+        #: ``None`` for unassigned declarations.
+        self.attr = attr
+        self.path = path
+        self.lineno = lineno
+
+    def __repr__(self) -> str:
+        return (
+            f"TracepointDecl({self.name!r}, arity={self.arity}, "
+            f"attr={self.attr}, {self.path}:{self.lineno})"
+        )
+
+
+class FireSite:
+    """One static ``<receiver>.fire(...)`` call site."""
+
+    __slots__ = ("key", "arity", "has_star", "path", "lineno")
+
+    def __init__(
+        self,
+        key: Optional[str],
+        arity: int,
+        has_star: bool,
+        path: str,
+        lineno: int,
+    ):
+        #: The resolved attribute key of the receiver (``tp_submit``),
+        #: or ``None`` when the receiver could not be resolved.
+        self.key = key
+        self.arity = arity
+        self.has_star = has_star
+        self.path = path
+        self.lineno = lineno
+
+    def __repr__(self) -> str:
+        return (
+            f"FireSite({self.key}, arity={self.arity}, "
+            f"star={self.has_star}, {self.path}:{self.lineno})"
+        )
+
+
+def iter_py_files(root: Path) -> List[Path]:
+    """All ``.py`` files under ``root``, sorted for determinism."""
+    if root.is_file():
+        return [root]
+    return sorted(p for p in root.rglob("*.py") if p.is_file())
+
+
+def parse_file(path: Path) -> ast.Module:
+    return ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+
+
+def _literal_str(node: ast.AST) -> Optional[str]:
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None
+
+
+def _decl_from_call(call: ast.Call, attr: Optional[str], path: str) -> Optional[TracepointDecl]:
+    """A TracepointDecl if ``call`` is ``<x>.tracepoint("name", ...)``."""
+    func = call.func
+    if not (isinstance(func, ast.Attribute) and func.attr == "tracepoint"):
+        return None
+    if not call.args:
+        return None
+    name = _literal_str(call.args[0])
+    if name is None:
+        return None
+    arity: Optional[int] = 0
+    if len(call.args) >= 2:
+        args_node = call.args[1]
+        if isinstance(args_node, (ast.Tuple, ast.List)):
+            arity = len(args_node.elts)
+        else:
+            arity = None
+    return TracepointDecl(name, arity, attr, path, call.lineno)
+
+
+def collect_declarations(tree: ast.Module, path: str) -> List[TracepointDecl]:
+    """Every tracepoint declaration in one module.
+
+    Declarations reached through an assignment record the bound
+    attribute name, whether the target is ``self.tp_x`` or a bare
+    local later copied onto objects (``tp_alloc = ...`` then
+    ``cu.tp_alloc = tp_alloc``).
+    """
+    decls: List[TracepointDecl] = []
+    assigned_calls = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Assign) and isinstance(node.value, ast.Call):
+            attr: Optional[str] = None
+            target = node.targets[0]
+            if isinstance(target, ast.Attribute):
+                attr = target.attr
+            elif isinstance(target, ast.Name):
+                attr = target.id
+            decl = _decl_from_call(node.value, attr, path)
+            if decl is not None:
+                decls.append(decl)
+                assigned_calls.add(id(node.value))
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call) and id(node) not in assigned_calls:
+            decl = _decl_from_call(node, None, path)
+            if decl is not None:
+                decls.append(decl)
+    return decls
+
+
+def _alias_map(tree: ast.Module) -> Dict[str, str]:
+    """Local-name -> attribute aliases (``tp = self.gpu.tp_wf_halt``)."""
+    aliases: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.Assign)
+            and len(node.targets) == 1
+            and isinstance(node.targets[0], ast.Name)
+            and isinstance(node.value, ast.Attribute)
+        ):
+            aliases[node.targets[0].id] = node.value.attr
+    return aliases
+
+
+def collect_fire_sites(tree: ast.Module, path: str) -> List[FireSite]:
+    """Every ``<receiver>.fire(...)`` call site in one module."""
+    aliases = _alias_map(tree)
+    sites: List[FireSite] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if not (isinstance(func, ast.Attribute) and func.attr == "fire"):
+            continue
+        receiver = func.value
+        key: Optional[str] = None
+        if isinstance(receiver, ast.Attribute):
+            key = receiver.attr
+        elif isinstance(receiver, ast.Name):
+            key = aliases.get(receiver.id, receiver.id)
+        has_star = any(isinstance(arg, ast.Starred) for arg in node.args)
+        sites.append(FireSite(key, len(node.args), has_star, path, node.lineno))
+    return sites
+
+
+class RegistryCheckProblem:
+    """One fire site that does not match any static declaration."""
+
+    __slots__ = ("site", "reason")
+
+    def __init__(self, site: FireSite, reason: str):
+        self.site = site
+        self.reason = reason
+
+    def __repr__(self) -> str:
+        return f"{self.site.path}:{self.site.lineno}: {self.reason}"
+
+
+def check_fire_sites(
+    files: Iterable[Path],
+) -> Tuple[List[RegistryCheckProblem], List[FireSite], List[TracepointDecl]]:
+    """Cross-check every fire site in ``files`` against the static registry.
+
+    Returns ``(problems, sites, decls)``; an empty problem list means
+    every ``.fire`` call names a declared tracepoint with the declared
+    arity.
+    """
+    per_module: Dict[str, Dict[str, List[TracepointDecl]]] = {}
+    global_attrs: Dict[str, List[TracepointDecl]] = {}
+    all_decls: List[TracepointDecl] = []
+    all_sites: List[FireSite] = []
+    trees: List[Tuple[str, ast.Module]] = []
+    for file in files:
+        path = str(file)
+        tree = parse_file(file)
+        trees.append((path, tree))
+        decls = collect_declarations(tree, path)
+        all_decls.extend(decls)
+        module_attrs = per_module.setdefault(path, {})
+        for decl in decls:
+            if decl.attr is not None:
+                module_attrs.setdefault(decl.attr, []).append(decl)
+                global_attrs.setdefault(decl.attr, []).append(decl)
+    problems: List[RegistryCheckProblem] = []
+    for path, tree in trees:
+        for site in collect_fire_sites(tree, path):
+            all_sites.append(site)
+            if site.key == "fire":
+                # ``something().fire`` with an unresolvable receiver.
+                problems.append(
+                    RegistryCheckProblem(site, "unresolvable fire receiver")
+                )
+                continue
+            candidates = per_module.get(path, {}).get(site.key) or global_attrs.get(
+                site.key or ""
+            )
+            if not candidates:
+                problems.append(
+                    RegistryCheckProblem(
+                        site,
+                        f"fire on {site.key!r} matches no static tracepoint "
+                        f"declaration",
+                    )
+                )
+                continue
+            if site.has_star:
+                continue  # splatted args: arity unknowable statically
+            if not any(
+                decl.arity is None or decl.arity == site.arity
+                for decl in candidates
+            ):
+                declared = sorted(
+                    {decl.arity for decl in candidates if decl.arity is not None}
+                )
+                names = sorted({decl.name for decl in candidates})
+                problems.append(
+                    RegistryCheckProblem(
+                        site,
+                        f"fire on {site.key!r} passes {site.arity} args but "
+                        f"{'/'.join(names)} declares arity {declared}",
+                    )
+                )
+    return problems, all_sites, all_decls

@@ -29,7 +29,7 @@ simulation driver.
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, Generator, Iterable, List, Optional
+from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
 
 __all__ = [
     "AllOf",
@@ -55,7 +55,7 @@ class Interrupted(Exception):
     :meth:`Process.interrupt`.
     """
 
-    def __init__(self, cause: Any = None):
+    def __init__(self, cause: Any = None) -> None:
         super().__init__(f"process interrupted: {cause!r}")
         self.cause = cause
 
@@ -65,7 +65,7 @@ class Delay:
 
     __slots__ = ("duration",)
 
-    def __init__(self, duration: float):
+    def __init__(self, duration: float) -> None:
         if duration < 0:
             raise ValueError(f"negative delay: {duration}")
         self.duration = duration
@@ -90,7 +90,7 @@ class Event:
 
     __slots__ = ("sim", "_value", "_exc", "triggered", "_waiters", "_callbacks", "_ndead", "name")
 
-    def __init__(self, sim: "Simulator", name: str = ""):
+    def __init__(self, sim: "Simulator", name: str = "") -> None:
         self.sim = sim
         self.name = name
         self.triggered = False
@@ -192,7 +192,7 @@ class _TimerHandle:
 
     __slots__ = ("fn",)
 
-    def __init__(self, fn: Optional[Callable[[], None]]):
+    def __init__(self, fn: Optional[Callable[[], None]]) -> None:
         self.fn = fn
 
 
@@ -209,7 +209,7 @@ class Timer:
 
     __slots__ = ("sim", "event", "_handle")
 
-    def __init__(self, sim: "Simulator", delay: float, value: Any = None, name: str = "timer"):
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None, name: str = "timer") -> None:
         if delay < 0:
             raise ValueError(f"negative timer delay: {delay}")
         self.sim = sim
@@ -248,7 +248,7 @@ class AllOf:
 
     __slots__ = ("items",)
 
-    def __init__(self, items: Iterable[Any]):
+    def __init__(self, items: Iterable[Any]) -> None:
         self.items = list(items)
 
 
@@ -259,7 +259,7 @@ class AnyOf:
 
     __slots__ = ("items",)
 
-    def __init__(self, items: Iterable[Any]):
+    def __init__(self, items: Iterable[Any]) -> None:
         self.items = list(items)
 
 
@@ -278,9 +278,9 @@ class Process:
         "_interruptible",
     )
 
-    def __init__(self, sim: "Simulator", generator: Generator, name: str = ""):
+    def __init__(self, sim: "Simulator", generator: Generator[Any, Any, Any], name: str = "") -> None:
         self.sim = sim
-        self.generator = generator
+        self.generator: Generator[Any, Any, Any] = generator
         self.name = name or getattr(generator, "__name__", "process")
         self.finished = False
         self.result: Any = None
@@ -326,7 +326,7 @@ class _Condition:
 
     __slots__ = ("event", "mode", "values", "remaining")
 
-    def __init__(self, sim: "Simulator", items: List[Any], mode: str):
+    def __init__(self, sim: "Simulator", items: List[Any], mode: str) -> None:
         self.event = Event(sim, name=f"cond:{mode}")
         self.mode = mode
         self.values: List[Any] = [None] * len(items)
@@ -371,9 +371,9 @@ class Simulator:
 
     __slots__ = ("now", "_heap", "_seq", "_active")
 
-    def __init__(self):
+    def __init__(self) -> None:
         self.now: float = 0
-        self._heap: List = []
+        self._heap: List[Tuple[float, int, Optional[Process], Any, Optional[BaseException]]] = []
         self._seq = 0
         self._active = 0
 
@@ -418,10 +418,14 @@ class Simulator:
     def wake_at(self, when: float, name: str = "wake-at") -> Event:
         """An event that triggers at absolute simulated time ``when``."""
         event = Event(self, name=name)
-        self.call_at(when, lambda: event.succeed())
+
+        def fire() -> None:
+            event.succeed()
+
+        self.call_at(when, fire)
         return event
 
-    def process(self, generator: Generator, name: str = "") -> Process:
+    def process(self, generator: Generator[Any, Any, Any], name: str = "") -> Process:
         """Spawn ``generator`` as a new process starting at the current time."""
         proc = Process(self, generator, name=name)
         self._active += 1
@@ -525,7 +529,7 @@ class Simulator:
             self.now = until
         return self.now
 
-    def run_process(self, generator: Generator, name: str = "") -> Any:
+    def run_process(self, generator: Generator[Any, Any, Any], name: str = "") -> Any:
         """Convenience: spawn ``generator``, run to completion, return its value."""
         proc = self.process(generator, name=name)
         self.run()

@@ -32,7 +32,7 @@ class Resource:
             resource.release()
     """
 
-    def __init__(self, sim: Simulator, capacity: int, name: str = ""):
+    def __init__(self, sim: Simulator, capacity: int, name: str = "") -> None:
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
         self.sim = sim
@@ -64,7 +64,7 @@ class Resource:
         else:
             self.in_use -= 1
 
-    def using(self, duration: float) -> Generator:
+    def using(self, duration: float) -> Generator[Any, Any, None]:
         """Process body: hold one unit for ``duration`` ns."""
         yield self.acquire()
         try:
@@ -76,7 +76,7 @@ class Resource:
 class Store:
     """Unbounded FIFO of items with blocking ``get``."""
 
-    def __init__(self, sim: Simulator, name: str = ""):
+    def __init__(self, sim: Simulator, name: str = "") -> None:
         self.sim = sim
         self.name = name
         self._items: Deque[Any] = deque()
@@ -150,7 +150,7 @@ class BandwidthResource:
         rate_bytes_per_ns: float,
         name: str = "",
         fixed_latency: float = 0.0,
-    ):
+    ) -> None:
         if rate_bytes_per_ns <= 0:
             raise ValueError("rate must be positive")
         self.sim = sim
@@ -165,7 +165,7 @@ class BandwidthResource:
     def transfer_time(self, nbytes: int) -> float:
         return self.fixed_latency + nbytes / self.rate
 
-    def transfer(self, nbytes: int) -> Generator:
+    def transfer(self, nbytes: int) -> Generator[Any, Any, None]:
         """Process body: move ``nbytes`` through the channel."""
         if nbytes < 0:
             raise ValueError(f"negative transfer size: {nbytes}")

@@ -18,7 +18,7 @@ from repro.sim.engine import Simulator
 class Counter:
     """A named monotonically increasing counter."""
 
-    def __init__(self, name: str = ""):
+    def __init__(self, name: str = "") -> None:
         self.name = name
         self.value = 0
 
@@ -34,7 +34,7 @@ class Counter:
 class TraceRecorder:
     """Records (time, value) samples under string keys."""
 
-    def __init__(self, sim: Simulator):
+    def __init__(self, sim: Simulator) -> None:
         self.sim = sim
         self._series: Dict[str, List[Tuple[float, float]]] = defaultdict(list)
 
@@ -67,7 +67,7 @@ class TraceRecorder:
                 idx = int((when - start) / bin_ns)
                 sums[idx] += value
                 counts[idx] += 1
-        out = []
+        out: List[Tuple[float, float]] = []
         for i in range(nbins):
             mean = sums[i] / counts[i] if counts[i] else 0.0
             out.append((start + i * bin_ns, mean))
@@ -82,7 +82,7 @@ class UtilizationTracker:
     report both a whole-run average and a binned series.
     """
 
-    def __init__(self, sim: Simulator, total_units: int, name: str = ""):
+    def __init__(self, sim: Simulator, total_units: int, name: str = "") -> None:
         if total_units < 1:
             raise ValueError("total_units must be >= 1")
         self.sim = sim

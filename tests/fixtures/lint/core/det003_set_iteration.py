@@ -1,0 +1,14 @@
+"""Fixture: iteration over unordered sets (DET003)."""
+
+
+def walk(items):
+    total = 0
+    for item in {3, 1, 2}:
+        total += item
+    doubled = [item * 2 for item in set(items)]
+    return total, doubled
+
+
+def walk_sorted(items):
+    # Wrapped in sorted(): deterministic, must NOT be flagged.
+    return [item for item in sorted(set(items))]

@@ -1,0 +1,17 @@
+"""Fixture: id() feeding ordering-sensitive containers (DET004)."""
+
+
+def bad(items):
+    members = {id(item) for item in items}
+    ranked = sorted(items, key=id)
+    ranked2 = sorted(items, key=lambda item: id(item))
+    return members, ranked, ranked2
+
+
+def fine(items):
+    # id() as an insertion-ordered dict key is deterministic in
+    # iteration order and must NOT be flagged.
+    seen = {}
+    for item in items:
+        seen[id(item)] = item
+    return list(seen.values())

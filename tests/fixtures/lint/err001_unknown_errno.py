@@ -1,0 +1,7 @@
+"""Fixture: an Errno constant the kernel never defined (ERR001)."""
+
+from repro.oskernel.errors import Errno
+
+
+def fail():
+    return -int(Errno.ENOSUCHERRNO)

@@ -1,0 +1,8 @@
+"""Fixture: findings suppressed with the in-place allow pragma."""
+
+import time  # lint: allow(DET001)
+from random import choice  # lint: allow
+
+
+def pick(items):
+    return time.time(), choice(items)

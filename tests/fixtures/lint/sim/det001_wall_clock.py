@@ -1,0 +1,8 @@
+"""Fixture: wall-clock import inside a deterministic zone (DET001)."""
+
+import time
+from datetime import datetime
+
+
+def stamp():
+    return time.time(), datetime.now()

@@ -1,0 +1,7 @@
+"""Fixture: the stdlib random module inside a deterministic zone (DET002)."""
+
+from random import choice
+
+
+def pick(items):
+    return choice(items)

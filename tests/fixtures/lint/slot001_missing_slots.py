@@ -1,0 +1,6 @@
+"""Fixture: a hot-path class without __slots__ (SLOT001)."""
+
+
+class Slot:
+    def __init__(self, index):
+        self.index = index

@@ -1,0 +1,9 @@
+"""Fixture: .fire() on an attribute with no static declaration (TP001)."""
+
+
+class Emitter:
+    def __init__(self, probes):
+        self.tp_known = probes.tracepoint("fix.known", ("a",), "declared")
+
+    def emit(self):
+        self.tp_ghost.fire(1)

@@ -1,0 +1,9 @@
+"""Fixture: .fire() arity disagreeing with the declaration (TP002)."""
+
+
+class Emitter:
+    def __init__(self, probes):
+        self.tp_pair = probes.tracepoint("fix.pair", ("a", "b"), "two args")
+
+    def emit(self):
+        self.tp_pair.fire(1)

@@ -193,13 +193,15 @@ class TestProtocolErrorAccounting:
         fired = []
         registry.attach(
             "slot.protocol_error",
-            lambda slot_index, op, detail: fired.append((slot_index, op)),
+            lambda slot_index, op, actor, detail: fired.append(
+                (slot_index, op, actor)
+            ),
         )
         slot = area.slot_for(0, 0)
         with pytest.raises(SlotStateError):
             slot.start_processing()  # out-of-order: FREE -> PROCESSING
         assert area.protocol_errors == 1
-        assert fired == [(slot.index, "start_processing")]
+        assert fired == [(slot.index, "start_processing", "cpu")]
 
     def test_stale_finish_rejected_without_raising(self, sim, area):
         """A worker finishing a slot the watchdog already reclaimed (and

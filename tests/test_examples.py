@@ -19,6 +19,7 @@ EXAMPLES = [
     "probes_demo",
     "tracing_demo",
     "faults_demo",
+    "sanitizer_demo",
 ]
 
 

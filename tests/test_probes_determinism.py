@@ -15,8 +15,10 @@ from repro.probes.tracepoints import clear_global_plan, install_global_plan
 
 
 def attach_everything(registry):
-    """Counters on every tracepoint plus the time/latency programs and a
-    full span tracer (repro.tracing) — the heaviest supported load."""
+    """Counters on every tracepoint plus the time/latency programs, a
+    full span tracer (repro.tracing), and the GSan sanitizer — the
+    heaviest supported load."""
+    from repro.sanitizers.gsan import GSan
     from repro.tracing.spans import SpanTracer
 
     for tp in registry.match("*"):
@@ -26,6 +28,7 @@ def attach_everything(registry):
     )
     registry.attach("irq.raised", RateMeter(registry, bin_ns=5000.0))
     SpanTracer(registry).install()
+    GSan().install(registry)
 
 
 def run_instrumented(name):

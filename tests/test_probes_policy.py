@@ -177,7 +177,9 @@ class TestWorkerSelectionHook:
         wq = WorkQueue(sim, config)
         wq.hook_worker.attach(choose(lambda current, index, n: index % n))
         workers = []
-        wq.tp_complete.attach(lambda worker_id, service_ns: workers.append(worker_id))
+        wq.tp_complete.attach(
+            lambda worker_id, service_ns, task_index: workers.append(worker_id)
+        )
 
         def task():
             yield 50

@@ -1,0 +1,69 @@
+"""Satellite 1: the static tracepoint registry cross-check.
+
+Every ``.fire(...)`` site in ``src/repro`` must name a statically
+declared tracepoint and pass the declared number of arguments.  This
+is the drift guard for the probes layer: add a tracepoint argument
+without updating a fire site (or vice versa) and this test names the
+exact file and line.
+"""
+
+from pathlib import Path
+
+from repro.sanitizers.astutil import (
+    check_fire_sites,
+    collect_declarations,
+    collect_fire_sites,
+    iter_py_files,
+    parse_file,
+)
+
+SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
+
+
+class TestRegistryCrossCheck:
+    def test_every_fire_site_matches_a_declaration(self):
+        files = iter_py_files(SRC)
+        problems, sites, decls = check_fire_sites(files)
+        assert problems == [], "\n".join(repr(p) for p in problems)
+        # Guard against a vacuous pass: the walk must actually have
+        # found the stack's tracepoints and fire sites.
+        assert len(sites) >= 40
+        assert len(decls) >= 30
+
+    def test_declarations_carry_names_and_arities(self):
+        files = iter_py_files(SRC)
+        _, _, decls = check_fire_sites(files)
+        names = {decl.name for decl in decls}
+        # Spot-check the protocol's load-bearing tracepoints.
+        for expected in (
+            "syscall.submit",
+            "syscall.dispatch",
+            "syscall.complete",
+            "slot.transition",
+            "slot.protocol_error",
+            "wq.enqueue",
+            "wq.dequeue",
+            "wq.complete",
+        ):
+            assert expected in names
+        by_name = {decl.name: decl for decl in decls if decl.arity is not None}
+        assert by_name["slot.transition"].arity == 4
+        assert by_name["slot.protocol_error"].arity == 4
+        assert by_name["wq.complete"].arity == 3
+
+    def test_alias_resolution_sees_through_local_names(self):
+        # wavefront.py binds ``tp_halt = self.gpu.tp_wf_halt`` and fires
+        # through the alias; the resolver must map it back.
+        wavefront = SRC / "gpu" / "wavefront.py"
+        if not wavefront.is_file():  # layout guard, not a skip
+            wavefront = next(SRC.rglob("wavefront.py"))
+        tree = parse_file(wavefront)
+        sites = collect_fire_sites(tree, str(wavefront))
+        keys = {site.key for site in sites}
+        assert "fire" not in keys, "unresolved fire receiver in wavefront.py"
+
+    def test_declaration_collection_records_bound_attrs(self):
+        area = next(SRC.rglob("syscall_area.py"))
+        decls = collect_declarations(parse_file(area), str(area))
+        attrs = {decl.attr for decl in decls}
+        assert "tp_transition" in attrs

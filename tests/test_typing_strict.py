@@ -1,0 +1,27 @@
+"""Satellite: strict typing gate over repro.sim and repro.core.
+
+CI installs mypy and runs this for real; locally the test skips when
+mypy is absent (the container image does not carry it).  The config
+lives in pyproject.toml ([tool.mypy] + per-package overrides) so the
+CLI invocation and this test check the identical profile.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+mypy = pytest.importorskip("mypy")
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+
+
+def test_sim_and_core_pass_strict_mypy():
+    result = subprocess.run(
+        [sys.executable, "-m", "mypy", "-p", "repro.sim", "-p", "repro.core"],
+        cwd=REPO,
+        capture_output=True,
+        text=True,
+    )
+    assert result.returncode == 0, result.stdout + result.stderr
