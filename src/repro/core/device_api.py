@@ -18,7 +18,7 @@ arise from the same code path the workloads use.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Generator, Optional, Tuple, TYPE_CHECKING
+from typing import Any, Dict, Generator, NoReturn, Optional, Tuple, TYPE_CHECKING
 
 from repro.core.invocation import (
     Granularity,
@@ -79,6 +79,8 @@ class _SlotOps:
         "read_state",
         "get_completion",
         "consume",
+        "pending_request",
+        "populate_do",
     )
 
     def __init__(
@@ -100,6 +102,22 @@ class _SlotOps:
         self.read_state = Do(lambda: slot.state)
         self.get_completion = Do(lambda: slot.completion)
         self.consume = Do(slot.consume)
+        # The one per-invocation variable in the protocol is the request
+        # itself; it travels through this cell so the populate op can be
+        # pre-built like every other op instead of allocating a fresh
+        # Do + closure on each invocation.
+        self.pending_request: Optional[SyscallRequest] = None
+        self.populate_do = Do(self._populate_pending)
+
+    def _populate_pending(self) -> None:
+        request, self.pending_request = self.pending_request, None
+        self.slot.populate(request)
+
+    def __getstate__(self) -> NoReturn:
+        raise TypeError(
+            "_SlotOps is a per-work-item op cache and is never pickled: "
+            "DeviceApi.__getstate__ drops it and the next invoke rebuilds it"
+        )
 
 
 class DeviceApi:
@@ -112,6 +130,13 @@ class DeviceApi:
         self._config = genesys.config
         self._seq = 0
         self._ops: Optional[_SlotOps] = None
+
+    def __getstate__(self) -> dict:
+        # _SlotOps caches per-granularity closures (unpicklable); it is a
+        # pure cache, rebuilt lazily by the next _raw_invoke.
+        state = self.__dict__.copy()
+        state["_ops"] = None
+        return state
 
     # -- the generic entry point ----------------------------------------------
 
@@ -259,7 +284,8 @@ class DeviceApi:
                         yield L1Flush(arg.addr, arg.size)
 
             # Populate the 64-byte slot, then publish with an atomic swap.
-            yield Do(lambda: slot.populate(request))
+            ops.pending_request = request
+            yield ops.populate_do
             yield ops.populate_write
             yield ops.publish_swap
             yield ops.set_ready

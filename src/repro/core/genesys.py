@@ -289,12 +289,12 @@ class Genesys:
                 )
             coalescing.max_batch = value
 
-        fs.add_dynamic_file(
+        fs.bind_dynamic_file(
             "/sys/genesys/coalescing_window_ns",
             lambda: b"%d\n" % int(coalescing.window_ns),
             write_fn=set_window,
         )
-        fs.add_dynamic_file(
+        fs.bind_dynamic_file(
             "/sys/genesys/coalescing_max_batch",
             lambda: b"%d\n" % coalescing.max_batch,
             write_fn=set_batch,
@@ -314,7 +314,7 @@ class Genesys:
                 )
             self.set_completion_log_limit(value)
 
-        fs.add_dynamic_file(
+        fs.bind_dynamic_file(
             "/sys/genesys/completion_log_limit",
             lambda: b"%d\n" % self.completion_log_limit,
             write_fn=set_log_limit,
@@ -347,17 +347,17 @@ class Genesys:
         def set_worker_timeout(raw: bytes) -> None:
             self.worker_timeout_ns = _parse_period("worker_timeout_ns", raw)
 
-        fs.add_dynamic_file(
+        fs.bind_dynamic_file(
             "/sys/genesys/watchdog_period_ns",
             lambda: b"%d\n" % int(self.watchdog_period_ns),
             write_fn=set_watchdog,
         )
-        fs.add_dynamic_file(
+        fs.bind_dynamic_file(
             "/sys/genesys/slot_timeout_ns",
             lambda: b"%d\n" % int(self.slot_timeout_ns),
             write_fn=set_slot_timeout,
         )
-        fs.add_dynamic_file(
+        fs.bind_dynamic_file(
             "/sys/genesys/worker_timeout_ns",
             lambda: b"%d\n" % int(self.worker_timeout_ns),
             write_fn=set_worker_timeout,
@@ -448,7 +448,11 @@ class Genesys:
         scan_id = self._next_scan_id
         if self.tp_scan_enqueue.enabled:
             self.tp_scan_enqueue.fire(scan_id, tuple(hw_ids))
-        self.linux.workqueue.submit(lambda: self._scan_task(scan_id, list(hw_ids)))
+        # Transient task record: the backlog must drain before a
+        # checkpoint is legal, so this closure never reaches a pickle.
+        self.linux.workqueue.submit(  # lint: allow(SLOT002)
+            lambda: self._scan_task(scan_id, list(hw_ids))
+        )
 
     def _scan_task(self, scan_id: int, hw_ids: List[int]) -> Generator[Any, Any, None]:
         """Steps 3c-5: worker thread scans slots and services the calls.

@@ -58,13 +58,16 @@ class Slot:
     __slots__ = (
         "index", "addr", "state", "request", "result", "completion", "sim",
         "on_transition", "on_protocol_error", "protocol_errors",
-        "last_transition_ns", "tp_transition",
+        "last_transition_ns", "tp_transition", "_done_name",
     )
 
     def __init__(self, sim: Simulator, index: int, addr: int) -> None:
         self.sim = sim
         self.index = index
         self.addr = addr
+        # Built once: populate() runs per invocation and must not
+        # allocate a fresh name string each time.
+        self._done_name = f"slot{index}-done"
         self.state = SlotState.FREE
         self.request: Optional[SyscallRequest] = None
         self.result: Any = None
@@ -137,7 +140,7 @@ class Slot:
             raise SlotStateError(detail)
         self.request = request
         self.result = None
-        self.completion = self.sim.event(name=f"slot{self.index}-done")
+        self.completion = self.sim.event(name=self._done_name)
 
     def set_ready(self) -> None:
         if self.request is None:

@@ -162,6 +162,29 @@ class FaultPlan:
         return " ".join(parts)
 
 
+class _WidenRetry:
+    """Picklable ``genesys.retry`` program treating the plan's injected
+    errnos as transient (see FaultInjector._install)."""
+
+    __slots__ = ("extra", "max_retries")
+
+    def __init__(self, extra: frozenset, max_retries: int) -> None:
+        self.extra = extra
+        self.max_retries = max_retries
+
+    def __call__(self, current, name, result, attempt):
+        if current:
+            return None
+        if (
+            isinstance(result, int)
+            and result < 0
+            and -result in self.extra
+            and attempt < self.max_retries
+        ):
+            return True
+        return None
+
+
 class FaultInjector:
     """Attaches a :class:`FaultPlan` to one machine's probe registry.
 
@@ -304,21 +327,9 @@ class FaultInjector:
             int(Errno.EAGAIN),
         }
         if plan.errno_rate and extra:
-            max_retries = plan.max_retries
-
-            def widen_retry(current, name, result, attempt):
-                if current:
-                    return None
-                if (
-                    isinstance(result, int)
-                    and result < 0
-                    and -result in extra
-                    and attempt < max_retries
-                ):
-                    return True
-                return None
-
-            self._attach("genesys.retry", widen_retry)
+            self._attach(
+                "genesys.retry", _WidenRetry(frozenset(extra), plan.max_retries)
+            )
 
     def remove(self) -> None:
         """Detach every program this injector installed."""

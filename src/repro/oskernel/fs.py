@@ -78,6 +78,16 @@ class DynamicFileInode(Inode):
         self.content_fn = content_fn
         self.write_fn = write_fn
 
+    def __getstate__(self):
+        # The content/write functions are closures over kernel and
+        # GENESYS objects; the restore path rebinds them via
+        # ``FileSystem.bind_dynamic_file`` (see LinuxKernel
+        # ``rebind_dynamic_files`` / Genesys ``_register_sysfs``).
+        state = self.__dict__.copy()
+        state["content_fn"] = None
+        state["write_fn"] = None
+        return state
+
 
 class PipeInode(Inode):
     """An in-kernel pipe: FIFO bytes between a write end and a read end.
@@ -361,6 +371,31 @@ class FileSystem:
         parent, name = self._resolve_parent(path)
         if name in parent.entries:
             raise OsError(Errno.EEXIST, path)
+        inode = DynamicFileInode(content_fn, write_fn)
+        parent.entries[name] = inode
+        return inode
+
+    def bind_dynamic_file(
+        self,
+        path: str,
+        content_fn: Callable[[], bytes],
+        write_fn: Optional[Callable[[bytes], None]] = None,
+    ) -> DynamicFileInode:
+        """Create-or-update form of :meth:`add_dynamic_file`.
+
+        If ``path`` already names a dynamic file its functions are
+        replaced *in place* (the inode — and any open fd pointing at
+        it — is preserved).  Checkpoint restore uses this to rebind the
+        content closures that ``__getstate__`` dropped.
+        """
+        parent, name = self._resolve_parent(path)
+        existing = parent.entries.get(name)
+        if existing is not None:
+            if not isinstance(existing, DynamicFileInode):
+                raise OsError(Errno.EEXIST, path)
+            existing.content_fn = content_fn
+            existing.write_fn = write_fn
+            return existing
         inode = DynamicFileInode(content_fn, write_fn)
         parent.entries[name] = inode
         return inode

@@ -202,7 +202,8 @@ class LinuxKernel:
         """Per-process /proc/<pid>/ files (the paper: "files in /proc to
         query process environments")."""
         base = f"/proc/{proc.pid}"
-        self.fs.mkdir(base)
+        if not self.fs.exists(base):
+            self.fs.mkdir(base)
 
         def status() -> bytes:
             rss_kb = proc.current_rss_bytes // 1024
@@ -222,9 +223,19 @@ class LinuxKernel:
         def fd_listing() -> bytes:
             return ("\n".join(str(fd) for fd in proc.fds.open_fds()) + "\n").encode()
 
-        self.fs.add_dynamic_file(f"{base}/status", status)
-        self.fs.add_dynamic_file(f"{base}/statm", statm)
-        self.fs.add_dynamic_file(f"{base}/fds", fd_listing)
+        # Content closures are dropped at checkpoint by
+        # DynamicFileInode.__getstate__ and re-derived here on restore.
+        self.fs.bind_dynamic_file(f"{base}/status", status)  # lint: allow(SLOT002)
+        self.fs.bind_dynamic_file(f"{base}/statm", statm)  # lint: allow(SLOT002)
+        self.fs.bind_dynamic_file(f"{base}/fds", fd_listing)  # lint: allow(SLOT002)
+
+    def rebind_dynamic_files(self) -> None:
+        """Checkpoint-restore fixup: reattach the /proc content closures
+        that ``DynamicFileInode.__getstate__`` dropped.  Inodes (and any
+        open fds onto them) are preserved; only the functions change."""
+        self.fs.bind_dynamic_file("/proc/meminfo", self._meminfo)
+        for proc in self.processes.values():
+            self._register_proc_entries(proc)
 
     # -- dispatch ------------------------------------------------------------
 

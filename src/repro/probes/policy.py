@@ -88,18 +88,29 @@ class PolicyHook:
         )
 
 
+class _FixedPolicy:
+    """Callable (and picklable, unlike a closure — checkpoints may pickle
+    attached programs) always-``value`` policy program."""
+
+    __slots__ = ("policy_value",)
+
+    def __init__(self, value: Any) -> None:
+        self.policy_value = value  # introspectable for snapshots/tests
+
+    def __call__(self, current: Any, *args: Any) -> Any:
+        return self.policy_value
+
+    def __repr__(self) -> str:
+        return f"fixed({self.policy_value!r})"
+
+
 def fixed(value: Any) -> PolicyProgram:
     """A policy program that always answers ``value``.
 
     This is what the sysfs knobs and the CLI's ``--policy HOOK=VALUE``
     flag build on: pinning a decision to a constant.
     """
-
-    def program(current: Any, *args: Any) -> Any:
-        return value
-
-    program.policy_value = value  # introspectable for snapshots/tests
-    return program
+    return _FixedPolicy(value)
 
 
 def choose(fn: Callable[..., Optional[Any]]) -> PolicyProgram:

@@ -228,6 +228,43 @@ class ProbeRegistry:
         )
 
 
+class _RecorderTap:
+    """One tracepoint's tap into a :class:`StreamRecorder`."""
+
+    __slots__ = ("recorder", "name")
+
+    def __init__(self, recorder: "StreamRecorder", name: str) -> None:
+        self.recorder = recorder
+        self.name = name
+
+    def __call__(self, *args) -> None:
+        recorder = self.recorder
+        recorder.events.append((recorder.registry.now(), self.name, args))
+
+
+class StreamRecorder:
+    """Observer recording ``(t_ns, tracepoint, args)`` for every matched
+    tracepoint — built from plain classes (no closures) so a checkpoint
+    taken while recording pickles the recorder with the machine and the
+    resumed run keeps appending to the same stream.
+    """
+
+    def __init__(self, registry: "ProbeRegistry") -> None:
+        self.registry = registry
+        self.events: List[tuple] = []
+
+    def attach(self, *patterns: str) -> "StreamRecorder":
+        """Attach to every tracepoint matching the given patterns (see
+        :meth:`ProbeRegistry.match`); returns self for chaining."""
+        seen = set()
+        for pattern in patterns:
+            for tp in self.registry.match(pattern):
+                if tp.name not in seen:
+                    seen.add(tp.name)
+                    self.registry.attach(tp.name, _RecorderTap(self, tp.name))
+        return self
+
+
 # -- global attach plan --------------------------------------------------
 #
 # Experiments construct their Systems internally, so the probes CLI

@@ -193,6 +193,26 @@ class _TaskTrack:
         self.requeues = 0
 
 
+class _GsanObserver:
+    """One tracepoint's tap into a :class:`GSan`.
+
+    A class rather than a closure so a checkpoint taken with GSan
+    attached can pickle the observer (and the sanitizer state behind
+    it) and the resumed run keeps sanitizing seamlessly.
+    """
+
+    __slots__ = ("sanitizer", "name")
+
+    def __init__(self, sanitizer: "GSan", name: str) -> None:
+        self.sanitizer = sanitizer
+        self.name = name
+
+    def __call__(self, *values: Any) -> None:
+        sanitizer = self.sanitizer
+        assert sanitizer.registry is not None
+        sanitizer.feed(self.name, sanitizer.registry.now(), *values)
+
+
 class GSan:
     """The sanitizer: attach to a registry, or feed a replayed stream.
 
@@ -252,11 +272,7 @@ class GSan:
         return self
 
     def _make_observer(self, name: str) -> Callable:
-        def observe(*values: Any) -> None:
-            assert self.registry is not None
-            self.feed(name, self.registry.now(), *values)
-
-        return observe
+        return _GsanObserver(self, name)
 
     # -- the event pump ----------------------------------------------------
 

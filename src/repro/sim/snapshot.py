@@ -1,0 +1,216 @@
+"""Versioned checkpoint/restore of a quiesced simulated machine.
+
+The paper's evaluation matrix re-pays every warmup (memcached table
+fill, miniAMR ramp) on every cell; gem5-style experiment suites instead
+snapshot expensive warm state once and resume byte-identically.  This
+module is that layer for the reproduction: :func:`save` pickles a
+quiesced :class:`~repro.system.System` (plus optional extras such as a
+warmed workload) behind a JSON manifest line, and :func:`load` rebuilds
+it so that the resumed run produces byte-identical outputs, ``stats()``
+and tracepoint streams versus a straight-through run.
+
+Snapshot format (one file / bytes blob)::
+
+    {"format": "repro-snapshot", "version": N, ...manifest...}\\n
+    <pickle payload>
+
+What is captured
+----------------
+Everything reachable from the System object graph: the engine clock and
+sequence counter, syscall areas and slots, the workqueue (with the FIFO
+order of its parked worker loops), caches/DRAM, fs/net/process state,
+probe registry including attached observer *objects* (GSan, SpanTracer,
+StreamRecorder), plus the module-level identity counters (inode
+numbers, pids, socket ids) recorded in the manifest.
+
+What is not captured
+--------------------
+* Live generator frames.  CPython cannot pickle a suspended generator,
+  so checkpoints are only legal at *quiescent* points: the event heap
+  is drained and the only live processes are workqueue worker loops
+  (whose park order is recorded and replayed instead of their frames).
+* Closures attached by callers (lambda observers, local functions).
+  Attach picklable callables (e.g. ``probes.StreamRecorder``) when a
+  run is meant to be checkpointed; :func:`save` fails loudly otherwise.
+* Dynamic-file content functions (/proc, /sys).  They close over kernel
+  objects and are deterministically re-derived on restore via
+  ``LinuxKernel.rebind_dynamic_files`` / ``Genesys._register_sysfs``.
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import pickle
+from typing import Any, NamedTuple, Optional, Union
+
+#: Bump when the snapshot layout changes incompatibly; :func:`load`
+#: rejects any other version.
+SNAPSHOT_VERSION = 1
+
+_FORMAT = "repro-snapshot"
+
+
+class CheckpointError(RuntimeError):
+    """Checkpoint/restore failed: non-quiescent state, unpicklable
+    attachments, or an incompatible snapshot."""
+
+
+class RestoredSnapshot(NamedTuple):
+    """What :func:`load` returns."""
+
+    system: Any
+    extra: Any
+    manifest: dict
+
+
+def _class_counters() -> dict:
+    """Module-level identity counters that live on classes, not on the
+    System graph — they feed simulated outputs (pids, inode numbers),
+    so a resumed run must continue them exactly."""
+    from repro.oskernel.fs import Inode
+    from repro.oskernel.net import UdpSocket
+    from repro.oskernel.process import OsProcess
+
+    return {
+        "inode_next_ino": Inode._next_ino,
+        "udp_next_socket_id": UdpSocket._next_id,
+        "os_next_pid": OsProcess._next_pid,
+    }
+
+
+def _apply_class_counters(counters: dict) -> None:
+    from repro.oskernel.fs import Inode
+    from repro.oskernel.net import UdpSocket
+    from repro.oskernel.process import OsProcess
+
+    Inode._next_ino = counters["inode_next_ino"]
+    UdpSocket._next_id = counters["udp_next_socket_id"]
+    OsProcess._next_pid = counters["os_next_pid"]
+
+
+def check_quiescent(system: Any) -> list:
+    """Validate that ``system`` is at a checkpointable instant.
+
+    Returns the parked worker order (already recorded again during
+    pickling; returned here for diagnostics).  Raises
+    :class:`CheckpointError` otherwise.
+    """
+    sim = system.sim
+    if sim._heap:
+        entries = ", ".join(
+            f"t={entry[0]:.0f} {'timer' if entry[2] is None else entry[2].name}"
+            for entry in sorted(sim._heap)[:5]
+        )
+        raise CheckpointError(
+            f"cannot checkpoint: {len(sim._heap)} event(s) still scheduled "
+            f"({entries}); run the simulator to quiescence first"
+        )
+    workqueue = system.kernel.workqueue
+    if workqueue.hook_worker.active:
+        raise CheckpointError(
+            "cannot checkpoint with a wq.worker policy attached: workers "
+            "park in a queue race whose state is not snapshottable"
+        )
+    try:
+        parked = workqueue._parked_worker_ids()
+    except TypeError as exc:
+        raise CheckpointError(str(exc)) from None
+    if sim._active != len(parked):
+        raise CheckpointError(
+            f"cannot checkpoint: {sim._active - len(parked)} live "
+            f"process(es) besides the {len(parked)} parked workqueue "
+            "workers (blocked or unfinished work) — only quiescent "
+            "machines can be snapshotted"
+        )
+    return parked
+
+
+def save(system: Any, path: Optional[str] = None, extra: Any = None) -> bytes:
+    """Snapshot ``system`` (and optionally ``extra``, e.g. a warmed
+    workload object sharing its graph) into a versioned blob.
+
+    Returns the blob; also writes it to ``path`` when given.
+    """
+    check_quiescent(system)
+    counters = _class_counters()
+    try:
+        payload = pickle.dumps(
+            (counters, system, extra), protocol=pickle.HIGHEST_PROTOCOL
+        )
+    except Exception as exc:
+        raise CheckpointError(
+            f"unpicklable state in checkpoint: {exc} — attach only "
+            "picklable observers (see repro.probes.StreamRecorder) and "
+            "checkpoint at quiescence"
+        ) from exc
+    manifest = {
+        "format": _FORMAT,
+        "version": SNAPSHOT_VERSION,
+        "sim_now_ns": system.sim.now,
+        "sim_seq": system.sim._seq,
+        "payload_bytes": len(payload),
+        "counters": counters,
+        "has_extra": extra is not None,
+    }
+    blob = json.dumps(manifest, sort_keys=True).encode("ascii") + b"\n" + payload
+    if path is not None:
+        with open(path, "wb") as fh:
+            fh.write(blob)
+    return blob
+
+
+def _read_blob(source: Union[bytes, str]) -> bytes:
+    if isinstance(source, bytes):
+        return source
+    with open(source, "rb") as fh:
+        return fh.read()
+
+
+def manifest(source: Union[bytes, str]) -> dict:
+    """Parse and validate a snapshot's manifest header (cheap: does not
+    unpickle the payload)."""
+    blob = _read_blob(source)
+    newline = blob.find(b"\n")
+    if newline < 0:
+        raise CheckpointError("not a repro snapshot: missing manifest line")
+    try:
+        header = json.loads(blob[:newline])
+    except ValueError:
+        raise CheckpointError("not a repro snapshot: bad manifest") from None
+    if not isinstance(header, dict) or header.get("format") != _FORMAT:
+        raise CheckpointError("not a repro snapshot: bad manifest")
+    return header
+
+
+def load(source: Union[bytes, str]) -> RestoredSnapshot:
+    """Rebuild a System (and extras) from :func:`save` output.
+
+    Rejects snapshots whose version does not match
+    :data:`SNAPSHOT_VERSION`.  Restoring resets the module-level
+    identity counters to the snapshot's values, so interleaving a
+    restored machine with an independently running one in the same
+    process will renumber the latter's new inodes/pids/sockets.
+    """
+    blob = _read_blob(source)
+    header = manifest(blob)
+    version = header.get("version")
+    if version != SNAPSHOT_VERSION:
+        raise CheckpointError(
+            f"snapshot version mismatch: snapshot is v{version}, this "
+            f"build reads v{SNAPSHOT_VERSION}"
+        )
+    payload = blob[blob.find(b"\n") + 1 :]
+    # Unpickling allocates the whole object graph at once; letting the
+    # cyclic GC run mid-load re-scans that growing graph repeatedly.
+    # Nothing in a half-built snapshot is garbage, so pause collection.
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        counters, system, extra = pickle.loads(payload)
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    _apply_class_counters(counters)
+    system._after_restore()
+    return RestoredSnapshot(system, extra, header)

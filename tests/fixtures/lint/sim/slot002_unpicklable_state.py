@@ -1,0 +1,27 @@
+"""Fixture: closures stored on snapshot-zone objects (SLOT002)."""
+
+
+class Holder:
+    def __init__(self, target):
+        self.on_done = lambda: target.finish()  # finding: lambda attr
+
+        def fallback():
+            return target.retry()
+
+        self.fallback = fallback  # finding: local-def attr
+        self.registry.attach("done", lambda: target.ack())  # finding: call
+
+
+class Exempt:
+    """Defines __getstate__, so it owns its own pickle story."""
+
+    def __init__(self, target):
+        self.on_done = lambda: target.finish()
+
+    def __getstate__(self):
+        return {}
+
+
+class Allowed:
+    def __init__(self, target):
+        self.on_done = lambda: target.finish()  # lint: allow(SLOT002)

@@ -1,0 +1,6 @@
+"""Fixture: closure stashes outside snapshot zones are not findings."""
+
+
+class Reporter:
+    def __init__(self, sink):
+        self.flush = lambda: sink.write(b"")

@@ -20,6 +20,7 @@ EXAMPLES = [
     "tracing_demo",
     "faults_demo",
     "sanitizer_demo",
+    "runfarm_demo",
 ]
 
 

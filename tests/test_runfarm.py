@@ -1,0 +1,137 @@
+"""repro.runfarm: sharding and merge determinism.
+
+The farm's contract is that parallelism is *invisible* in the results:
+the merged output is a pure function of the job list, identical for
+1/2/4 workers and for any completion order, and a farmed chaos matrix
+reproduces the serial ``repro.faults.chaos.run_matrix`` fault streams
+exactly.
+"""
+
+import pytest
+
+from repro.faults import chaos
+from repro.runfarm import (
+    Job,
+    chaos_matrix_jobs,
+    default_workers,
+    merge_reports,
+    run_chaos_matrix,
+    run_jobs,
+    shard,
+)
+
+EXPERIMENTS = ("fig2", "udp-echo")
+SEEDS = (1, 2, 3)
+
+
+def _square_cell(value):
+    """Module-level so forked pool workers can pickle the reference."""
+    return {"value": value, "square": value * value}
+
+
+def _jobs(values):
+    return [
+        Job(key=("square", v), fn=_square_cell, kwargs={"value": v})
+        for v in values
+    ]
+
+
+class TestShard:
+    def test_round_robin_assignment(self):
+        assert shard([0, 1, 2, 3, 4], 2) == [[0, 2, 4], [1, 3]]
+
+    def test_every_item_lands_exactly_once(self):
+        items = list(range(17))
+        for num_shards in (1, 2, 3, 4, 16, 17, 20):
+            shards = shard(items, num_shards)
+            flat = [item for piece in shards for item in piece]
+            assert sorted(flat) == items
+            assert len(shards) == num_shards
+
+    def test_zero_shards_rejected(self):
+        with pytest.raises(ValueError):
+            shard([1], 0)
+
+
+class TestRunJobs:
+    def test_merge_is_worker_count_independent(self):
+        expected = [
+            (("square", v), {"value": v, "square": v * v}) for v in range(8)
+        ]
+        for workers in (1, 2, 4):
+            assert run_jobs(_jobs(range(8)), workers=workers) == expected
+
+    def test_merge_is_submission_order_independent(self):
+        forward = run_jobs(_jobs(range(8)), workers=2)
+        backward = run_jobs(list(reversed(_jobs(range(8)))), workers=2)
+        assert forward == backward
+
+    def test_duplicate_keys_rejected(self):
+        jobs = _jobs([1]) + _jobs([1])
+        with pytest.raises(ValueError, match="unique"):
+            run_jobs(jobs)
+
+    def test_more_workers_than_jobs_is_fine(self):
+        assert run_jobs(_jobs([7]), workers=8) == [
+            (("square", 7), {"value": 7, "square": 49})
+        ]
+
+    def test_default_workers_positive(self):
+        assert default_workers() >= 1
+
+
+class TestChaosFarm:
+    def test_farmed_matrix_reproduces_serial_fault_streams(self):
+        serial = {
+            (report.experiment, report.seed): report.as_dict()
+            for report in chaos.run_matrix(list(EXPERIMENTS), list(SEEDS))
+        }
+        for workers in (1, 2, 4):
+            farmed = run_chaos_matrix(EXPERIMENTS, SEEDS, workers=workers)
+            assert [key for key, _ in farmed] == sorted(serial)
+            for key, report in farmed:
+                assert report == serial[key], (key, workers)
+
+    def test_gsan_rides_the_farm_and_stays_green(self):
+        farmed = run_chaos_matrix(EXPERIMENTS, (1, 2), workers=2, gsan=True)
+        assert len(farmed) == len(EXPERIMENTS) * 2
+        for key, report in farmed:
+            assert report["ok"], (key, report["violations"])
+            assert report["gsan"]["violations"] == [], key
+        # At least the slot-protocol experiments feed the sanitizer.
+        assert any(report["gsan"]["events"] > 0 for _, report in farmed)
+
+    def test_seed_assignment_is_part_of_the_job_spec(self):
+        jobs = chaos_matrix_jobs(EXPERIMENTS, SEEDS, intensity=0.5)
+        assert [job.key for job in jobs] == [
+            (experiment, seed)
+            for experiment in EXPERIMENTS
+            for seed in SEEDS
+        ]
+        for job in jobs:
+            assert job.kwargs["experiment"] == job.key[0]
+            assert job.kwargs["seed"] == job.key[1]
+            assert job.kwargs["intensity"] == 0.5
+
+
+class TestMergeReports:
+    def test_rollup(self):
+        results = [
+            (("fig2", 1), {"ok": True, "injected": 3}),
+            (("fig2", 2), {"ok": False, "injected": 5}),
+            (("grep", 1), {"ok": True, "injected": 2}),
+        ]
+        summary = merge_reports(results)
+        assert summary["cells"] == 3
+        assert summary["ok"] == 2
+        assert summary["failed"] == 1
+        assert summary["by_experiment"]["fig2"] == {
+            "cells": 2,
+            "ok": 1,
+            "injected": 8,
+        }
+        assert summary["by_experiment"]["grep"] == {
+            "cells": 1,
+            "ok": 1,
+            "injected": 2,
+        }

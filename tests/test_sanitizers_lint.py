@@ -37,6 +37,7 @@ class TestHazardFixtures:
             ("tp002_arity_mismatch.py", "TP002"),
             ("err001_unknown_errno.py", "ERR001"),
             ("slot001_missing_slots.py", "SLOT001"),
+            ("sim/slot002_unpicklable_state.py", "SLOT002"),
         ],
     )
     def test_each_hazard_class_is_caught(self, fixture, code):
@@ -71,6 +72,21 @@ class TestHazardFixtures:
         # finding: reporting layers may timestamp things.
         out_of_zone = FIXTURES / "tp001_unknown_tracepoint.py"
         assert "DET001" not in codes_for(out_of_zone)
+
+    def test_slot002_spares_getstate_and_pragma(self):
+        findings = run_lint(
+            [FIXTURES / "sim" / "slot002_unpicklable_state.py"]
+        )
+        slot002 = [f for f in findings if f.code == "SLOT002"]
+        # Exactly the three hazards in Holder; Exempt defines
+        # __getstate__ and Allowed carries the pragma.
+        assert len(slot002) == 3, "\n".join(f.render() for f in slot002)
+
+    def test_slot002_scoped_to_snapshot_zones(self):
+        # The same closure stash outside a snapshot zone is fine:
+        # reporting layers are never pickled into a checkpoint.
+        out_of_zone = codes_for(FIXTURES / "slot002_out_of_zone.py")
+        assert "SLOT002" not in out_of_zone
 
     def test_allow_pragma_suppresses_in_place(self):
         findings = run_lint([FIXTURES / "sim" / "allow_pragma.py"])
