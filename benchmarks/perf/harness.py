@@ -8,6 +8,7 @@ protocol, and the memory-system cost model are all on the profile.
 
 from __future__ import annotations
 
+import functools
 import json
 import platform
 import sys
@@ -145,18 +146,45 @@ def bench_grep_genesys(scale: float) -> BenchResult:
     }
 
 
-def bench_memcached_genesys(scale: float) -> BenchResult:
-    """Figure 15 shape: GPU memcached lookups via GENESYS networking."""
+def bench_memcached_genesys(
+    scale: float,
+    num_requests: int | None = None,
+    client_source: str = "uniform",
+) -> BenchResult:
+    """Figure 15 shape: GPU memcached lookups via GENESYS networking.
+
+    Parameterizable replay: ``num_requests`` overrides the scale-derived
+    count and ``client_source`` picks the key popularity — ``uniform``
+    (the committed default; its rng path is untouched, so default runs
+    replay byte-identically) or ``zipf`` (the serving harness's skewed
+    popularity at s=0.99).
+    """
     from repro.system import System
     from repro.workloads.memcachedwl import MemcachedWorkload
 
-    num_requests = max(8, int(64 * scale))
+    if num_requests is None:
+        num_requests = max(8, int(64 * scale))
     start = time.perf_counter()
     system = System()
-    workload = MemcachedWorkload(system, num_requests=num_requests)
+    if client_source == "uniform":
+        workload = MemcachedWorkload(system, num_requests=num_requests)
+    elif client_source == "zipf":
+        from repro.serving.clients import ZipfKeys
+        from repro.workloads.base import DeterministicRandom
+
+        workload = MemcachedWorkload(system, request_keys=[])
+        popularity = ZipfKeys(workload.table.keys, s=0.99, perm_seed=23)
+        rng = DeterministicRandom(24)
+        workload.request_keys = [popularity.draw(rng) for _ in range(num_requests)]
+        workload.num_requests = num_requests
+    else:
+        raise ValueError(f"unknown client_source {client_source!r}")
     result = workload.run_genesys()
     wall = time.perf_counter() - start
-    return wall, result.runtime_ns, {"num_requests": num_requests}
+    return wall, result.runtime_ns, {
+        "num_requests": num_requests,
+        "client_source": client_source,
+    }
 
 
 def bench_syscall_invoke(scale: float) -> BenchResult:
@@ -535,7 +563,26 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--output", default=str(DEFAULT_OUTPUT), help="where to write the JSON report"
     )
+    parser.add_argument(
+        "--requests",
+        type=int,
+        default=None,
+        help="e2e_memcached_genesys request count (default: scale-derived)",
+    )
+    parser.add_argument(
+        "--client-source",
+        choices=("uniform", "zipf"),
+        default="uniform",
+        help="e2e_memcached_genesys key popularity (default: uniform, the "
+        "committed byte-identical replay)",
+    )
     args = parser.parse_args(argv)
+    if args.requests is not None or args.client_source != "uniform":
+        END_TO_END["e2e_memcached_genesys"] = functools.partial(
+            bench_memcached_genesys,
+            num_requests=args.requests,
+            client_source=args.client_source,
+        )
     report = run_suite(smoke=args.smoke, repeat=args.repeat)
     Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
     for name, entry in report["results"].items():

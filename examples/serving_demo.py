@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Serving harness demo: open-loop load, saturation, and the SLO knee.
+
+Four acts:
+
+1. one fixed-RPS point against the GPU memcached server with a couple
+   thousand simulated clients — comfortably under capacity, the tail is
+   tight;
+2. the same offered load as a bursty ON/OFF stream — same average RPS,
+   much fatter tail (why closed-loop replay can't stand in for serving
+   benchmarks);
+3. open-loop overload with a bounded server backlog: offered RPS stays
+   on target while completions collapse and the new ``net.backlog``
+   accounting shows the drops;
+4. a farmed RPS sweep with SLO bisection — the curve behind
+   ``BENCH_serving.json``, identical for any worker count.
+
+Run:  python examples/serving_demo.py
+"""
+
+from repro.serving import report
+from repro.serving.arrivals import ArrivalSpec
+from repro.serving.sweep import ServingConfig, run_point, sweep
+
+BASE = dict(
+    num_clients=2000,          # thousands of client sockets, multiplexed
+    warmup_ns=100_000.0,
+    measure_ns=400_000.0,
+    timeout_ns=400_000.0,
+    elems_per_bucket=64,
+    value_bytes=256,
+    num_workgroups=4,
+    workgroup_size=16,
+)
+
+
+def main():
+    # Act 1: Poisson arrivals well under capacity.
+    config = ServingConfig(seed=1, **BASE)
+    calm = run_point(config, 80_000)
+    latency = calm["latency_ns"]
+    print(f"poisson @ 80k RPS: {calm['lifecycle']['completed']} completed, "
+          f"p50/p99 = {latency['p50'] / 1e3:.1f}/{latency['p99'] / 1e3:.1f} us, "
+          f"SLO {'ok' if calm['slo_ok'] else 'MISS'}")
+
+    # Act 2: the same average load, bursty.
+    bursty_config = ServingConfig(
+        seed=1,
+        arrival=ArrivalSpec(kind="onoff", on_fraction=0.4, period_ns=100_000.0),
+        **BASE,
+    )
+    bursty = run_point(bursty_config, 80_000)
+    blat = bursty["latency_ns"]
+    print(f"on/off  @ 80k RPS: p50/p99 = {blat['p50'] / 1e3:.1f}/"
+          f"{blat['p99'] / 1e3:.1f} us — same offered load, "
+          f"{blat['p99'] / max(latency['p99'], 1.0):.1f}x the p99")
+    assert blat["p99"] > latency["p99"]
+
+    # Act 3: overload with a bounded receive queue.
+    overload = run_point(
+        ServingConfig(seed=1, rx_backlog=128, **BASE), 500_000
+    )
+    print(f"poisson @ 500k RPS (rx_backlog=128): offered "
+          f"{overload['offered_rps'] / 1e3:.0f}k, completion "
+          f"{overload['completion']:.2f}, {overload['net']['rx_queue_drops']} "
+          f"backlog drops, peak depth {overload['net']['rx_backlog_peak']}")
+    assert overload["net"]["rx_queue_drops"] > 0
+    assert overload["net"]["rx_backlog_peak"] <= 128
+
+    # Act 4: the sweep — grid, bisection, and worker-count invariance.
+    sweep_config = ServingConfig(seed=1, bisect_iters=3, **BASE)
+    grid = [50_000, 100_000, 200_000, 400_000]
+    serial = sweep(sweep_config, grid, workers=1)
+    farmed = sweep(sweep_config, grid, workers=4)
+    assert report.to_json(farmed) == report.to_json(serial)
+    print()
+    print(report.render(serial))
+    print("4-worker sweep byte-identical to serial")
+
+
+if __name__ == "__main__":
+    main()

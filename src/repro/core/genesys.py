@@ -784,4 +784,5 @@ class Genesys:
             "watchdog_ticks": self.watchdog_ticks,
             "syscall_retries": self.syscall_retries,
             "slot_protocol_errors": self.area.protocol_errors,
+            "net": self.linux.net.stats(),
         }

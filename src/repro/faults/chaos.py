@@ -94,6 +94,21 @@ PROFILES: Dict[str, FaultPlan] = {
         net_delay=0.20,
         watchdog_period_ns=0.0,
     ),
+    # The serving harness (repro.serving) at moderate open-loop load:
+    # lost doorbells and killed workqueue workers while a GPU memcached
+    # kernel serves a timed request stream.  Open-loop clients already
+    # classify late/lost replies, so the invariants here are liveness
+    # (the run drains) and safety (no corrupted reply values) — not
+    # completion.  slot_timeout is disabled for the same reason as the
+    # memcached profile: a blocking recvfrom legitimately parks its
+    # slot in PROCESSING while waiting for a request.
+    "serving": FaultPlan(
+        irq_drop=0.10,
+        worker_kill=0.05,
+        watchdog_period_ns=50_000.0,
+        slot_timeout_ns=0.0,
+        worker_timeout_ns=150_000.0,
+    ),
 }
 
 EXPERIMENTS = tuple(PROFILES)
@@ -305,11 +320,55 @@ def _run_udp_echo(system: System) -> Dict[str, object]:
     }
 
 
+def _run_serving(system: System) -> Dict[str, object]:
+    """The serving harness riding a faulty machine: one fixed-RPS
+    open-loop point against the GPU memcached server.  Every completed
+    reply's value bytes are checked against the table — a fault may
+    delay or lose a reply (the lifecycle absorbs that) but must never
+    corrupt one."""
+    from repro.serving.sweep import (
+        ServingConfig,
+        build_target,
+        memcached_reply_check,
+        run_point_on,
+    )
+
+    config = ServingConfig(
+        num_clients=32,
+        warmup_ns=100_000.0,
+        measure_ns=300_000.0,
+        timeout_ns=400_000.0,
+        elems_per_bucket=64,
+        value_bytes=256,
+        num_workgroups=4,
+        workgroup_size=16,
+    )
+    _system, workload = build_target(config, system=system)
+    point = run_point_on(
+        system, workload, config, rps=100_000,
+        check_reply=memcached_reply_check(workload),
+    )
+    lifecycle = point["lifecycle"]
+    if lifecycle["bad_replies"]:
+        raise AssertionError(
+            f"{lifecycle['bad_replies']} corrupted reply value(s) reached a client"
+        )
+    return {
+        "rps": 100_000,
+        "sent": lifecycle["sent"],
+        "completed": lifecycle["completed"],
+        "late": lifecycle["late"],
+        "timeout": lifecycle["timeout"],
+        "served": point["served"],
+    }
+
+
 _SCENARIOS = {
     "fig2": _run_fig2,
     "grep": _run_grep,
     "memcached": _run_memcached,
     "udp-echo": _run_udp_echo,
+    "serving": _run_serving,
 }
 
 #: Tracepoints that make up the fault/recovery event stream (prefix

@@ -43,6 +43,13 @@ class UdpSocket:
         self.closed = False
         self.rx_packets = 0
         self.tx_packets = 0
+        #: Receive-queue bound in datagrams (``None`` = unbounded, the
+        #: historical behaviour).  When the backlog is full, arriving
+        #: datagrams are dropped and counted instead of queueing without
+        #: limit — the open-loop overload regime made observable.
+        self.rx_capacity: Optional[int] = None
+        #: Datagrams dropped at this socket because the backlog was full.
+        self.rx_dropped = 0
 
     def bind(self, port: int) -> None:
         self.net.bind(self, port)
@@ -74,6 +81,11 @@ class Network:
         )
         self.packets_sent = 0
         self.packets_dropped = 0
+        #: Datagrams dropped because a socket's bounded receive queue
+        #: (``UdpSocket.rx_capacity``) was full, across all sockets.
+        self.rx_queue_drops = 0
+        #: Deepest receive backlog observed on any socket (datagrams).
+        self.rx_backlog_peak = 0
         self._tx_counter = 0
         registry = probes if probes is not None else ProbeRegistry(sim)
         self.tp_tx = registry.tracepoint(
@@ -84,6 +96,12 @@ class Network:
         )
         self.tp_drop = registry.tracepoint(
             "net.drop", ("reason",), "datagram dropped (loss model or unbound dest)"
+        )
+        self.tp_backlog = registry.tracepoint(
+            "net.backlog",
+            ("depth",),
+            "receive-queue depth after a datagram was enqueued (0 = handed "
+            "straight to a blocked receiver)",
         )
         self.tp_fault = registry.tracepoint(
             "fault.net.injected",
@@ -100,6 +118,15 @@ class Network:
 
     def socket(self, host: str = "localhost") -> UdpSocket:
         return UdpSocket(self, host)
+
+    def stats(self) -> Dict[str, int]:
+        """Link and backlog counters (see also ``Genesys.stats()['net']``)."""
+        return {
+            "packets_sent": self.packets_sent,
+            "packets_dropped": self.packets_dropped,
+            "rx_queue_drops": self.rx_queue_drops,
+            "rx_backlog_peak": self.rx_backlog_peak,
+        }
 
     def bind(self, sock: UdpSocket, port: int) -> None:
         if sock.closed:
@@ -167,8 +194,7 @@ class Network:
                 self.faults_injected += 1
                 if self.tp_fault.enabled:
                     self.tp_fault.fire("dup", len(payload), 0.0)
-                target.rx_packets += 1
-                target.queue.put(Datagram(payload, (sock.host, sock.port)))
+                self._deliver(target, Datagram(payload, (sock.host, sock.port)))
             elif isinstance(action, tuple) and action and action[0] == "delay":
                 delay_ns = float(action[1])
                 self.faults_injected += 1
@@ -179,17 +205,40 @@ class Network:
                     name="net-delayed",
                 )
                 return len(payload)
+        self._deliver(target, datagram)
+        return len(payload)
+
+    def _deliver(self, target: UdpSocket, datagram: Datagram) -> bool:
+        """Enqueue ``datagram`` at ``target``, honouring the backlog bound.
+
+        Returns False when the bounded receive queue was full and the
+        datagram was dropped (counted per socket and globally).
+        """
+        if (
+            target.rx_capacity is not None
+            and len(target.queue) >= target.rx_capacity
+        ):
+            target.rx_dropped += 1
+            self.rx_queue_drops += 1
+            self.packets_dropped += 1
+            if self.tp_drop.enabled:
+                self.tp_drop.fire("backlog")
+            return False
         target.rx_packets += 1
         target.queue.put(datagram)
-        return len(payload)
+        depth = len(target.queue)
+        if depth > self.rx_backlog_peak:
+            self.rx_backlog_peak = depth
+        if self.tp_backlog.enabled:
+            self.tp_backlog.fire(depth)
+        return True
 
     def _deliver_later(
         self, target: UdpSocket, datagram: Datagram, delay_ns: float
     ) -> Generator:
         yield delay_ns
         if not target.closed:
-            target.rx_packets += 1
-            target.queue.put(datagram)
+            self._deliver(target, datagram)
 
     def recvfrom(self, sock: UdpSocket, bufsize: int) -> Generator:
         """Process body: blocking receive; returns (payload, source)."""

@@ -1,0 +1,5 @@
+import sys
+
+from repro.serving.cli import main
+
+sys.exit(main())

@@ -1,0 +1,122 @@
+"""Open-loop arrival processes, fully seeded.
+
+Closed-loop clients (``MemcachedWorkload._run_clients``) issue the next
+request only after the previous reply: offered load tracks service rate
+and the server can never be pushed past saturation.  Open-loop arrivals
+are the opposite contract — request *times* are drawn up front from a
+stochastic process and honoured regardless of completions, which is
+what exposes queueing collapse and tail latency.
+
+Two processes, both driven only by
+:class:`~repro.workloads.base.DeterministicRandom` so a seed pins the
+whole timestamp stream:
+
+* ``poisson`` — exponential inter-arrival gaps at the target rate; the
+  memoryless baseline every serving paper starts from.
+* ``onoff`` — a bursty modulation: exponentially distributed ON and OFF
+  phases (mean cycle ``period_ns``, ON fraction ``on_fraction``), with
+  Poisson arrivals *during ON only* at ``rate / on_fraction`` so the
+  long-run average still matches the target RPS.  Same offered load,
+  much nastier queue dynamics.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List
+
+from repro.workloads.base import DeterministicRandom
+
+KINDS = ("poisson", "onoff")
+
+
+@dataclass(frozen=True)
+class ArrivalSpec:
+    """Which process, plus the ON/OFF shape parameters (ignored for
+    ``poisson``)."""
+
+    kind: str = "poisson"
+    #: Long-run fraction of time spent in the ON phase.
+    on_fraction: float = 0.5
+    #: Mean length of one ON+OFF cycle, in simulated ns.
+    period_ns: float = 100_000.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ValueError(f"unknown arrival kind {self.kind!r}; choose from {KINDS}")
+        if not 0.0 < self.on_fraction <= 1.0:
+            raise ValueError(f"on_fraction must be in (0, 1], got {self.on_fraction}")
+        if self.period_ns <= 0.0:
+            raise ValueError(f"period_ns must be positive, got {self.period_ns}")
+
+    def as_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "on_fraction": self.on_fraction,
+            "period_ns": self.period_ns,
+        }
+
+
+def _exp(rng: DeterministicRandom, mean: float) -> float:
+    """One exponential draw via inversion.  ``random()`` is in [0, 1),
+    so ``1 - u`` is in (0, 1] and the log is always finite."""
+    return -math.log(1.0 - rng.random()) * mean
+
+
+def _poisson_times(
+    rng: DeterministicRandom, rps: float, duration_ns: float
+) -> List[float]:
+    mean_gap = 1e9 / rps
+    times: List[float] = []
+    t = _exp(rng, mean_gap)
+    while t < duration_ns:
+        times.append(t)
+        t += _exp(rng, mean_gap)
+    return times
+
+
+def _onoff_times(
+    rng: DeterministicRandom,
+    rps: float,
+    duration_ns: float,
+    on_fraction: float,
+    period_ns: float,
+) -> List[float]:
+    mean_on = period_ns * on_fraction
+    mean_off = period_ns * (1.0 - on_fraction)
+    mean_gap = (1e9 / rps) * on_fraction  # burst rate = rps / on_fraction
+    times: List[float] = []
+    t = 0.0
+    while t < duration_ns:
+        on_end = t + _exp(rng, mean_on)
+        while t < duration_ns:
+            gap = _exp(rng, mean_gap)
+            if t + gap >= on_end:
+                # Residual gap at the phase edge is discarded; the
+                # exponential is memoryless, so this keeps the burst
+                # rate exact without carrying state across phases.
+                break
+            t += gap
+            if t < duration_ns:
+                times.append(t)
+        t = on_end
+        if mean_off > 0.0:
+            t += _exp(rng, mean_off)
+    return times
+
+
+def arrival_times(
+    spec: ArrivalSpec, rps: float, duration_ns: float, seed: int
+) -> List[float]:
+    """The full arrival-timestamp stream for one run, in simulated ns
+    relative to the run's start.  Strictly a function of its arguments:
+    same (spec, rps, duration, seed) -> identical list."""
+    if rps <= 0.0:
+        raise ValueError(f"rps must be positive, got {rps}")
+    if duration_ns <= 0.0:
+        raise ValueError(f"duration_ns must be positive, got {duration_ns}")
+    rng = DeterministicRandom(seed)
+    if spec.kind == "poisson":
+        return _poisson_times(rng, rps, duration_ns)
+    return _onoff_times(rng, rps, duration_ns, spec.on_fraction, spec.period_ns)

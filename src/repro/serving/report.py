@@ -1,0 +1,128 @@
+"""The ``BENCH_serving.json`` trajectory document.
+
+Schema-versioned so later PRs are judged on served RPS under an SLO,
+not just microbenchmark latency: a point's shape is stable, reruns with
+the same seed serialize byte-identically (``to_json`` is canonical:
+sorted keys, fixed indent, no wall-clock timestamps), and
+:func:`check_report` is the structural gate CI runs on the artifact.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import List
+
+SCHEMA = "repro-serving-bench"
+SCHEMA_VERSION = 1
+
+_TOP_KEYS = (
+    "schema", "version", "workload", "arrival", "zipf_s", "seed",
+    "config", "slo", "points", "bisection", "max_sustainable_rps",
+)
+_POINT_KEYS = (
+    "rps_target", "offered_rps", "achieved_rps", "completion",
+    "latency_ns", "lifecycle", "served", "net", "elapsed_ns", "slo_ok",
+)
+_LATENCY_KEYS = ("count", "mean", "p50", "p95", "p99", "max")
+_LIFECYCLE_KEYS = ("sent", "completed", "late", "timeout", "dup_replies")
+
+
+def build(config, points: List[dict], bisection: List[dict],
+          max_sustainable_rps: float) -> dict:
+    return {
+        "schema": SCHEMA,
+        "version": SCHEMA_VERSION,
+        "workload": config.workload,
+        "arrival": config.arrival.as_dict(),
+        "zipf_s": config.zipf_s,
+        "seed": config.seed,
+        "config": config.as_dict(),
+        "slo": config.slo_dict(),
+        "points": list(points),
+        "bisection": list(bisection),
+        "max_sustainable_rps": max_sustainable_rps,
+    }
+
+
+def to_json(doc: dict) -> str:
+    """Canonical serialization: byte-identical for identical docs."""
+    return json.dumps(doc, sort_keys=True, indent=2) + "\n"
+
+
+def check_report(doc: dict) -> List[str]:
+    """Structural validation; returns human-readable problems (empty ==
+    the document is a well-formed serving trajectory)."""
+    problems: List[str] = []
+    if not isinstance(doc, dict):
+        return [f"document is {type(doc).__name__}, want object"]
+    if doc.get("schema") != SCHEMA:
+        problems.append(f"schema is {doc.get('schema')!r}, want {SCHEMA!r}")
+    if doc.get("version") != SCHEMA_VERSION:
+        problems.append(
+            f"version is {doc.get('version')!r}, want {SCHEMA_VERSION}"
+        )
+    for key in _TOP_KEYS:
+        if key not in doc:
+            problems.append(f"missing top-level key {key!r}")
+    points = doc.get("points")
+    if not isinstance(points, list) or not points:
+        problems.append("points must be a non-empty list")
+        points = []
+    targets = [p.get("rps_target") for p in points if isinstance(p, dict)]
+    if any(b <= a for a, b in zip(targets, targets[1:])):
+        problems.append(f"points' rps_target grid is not strictly increasing: {targets}")
+    for where, point in (
+        [(f"points[{i}]", p) for i, p in enumerate(points)]
+        + [(f"bisection[{i}]", p) for i, p in enumerate(doc.get("bisection") or [])]
+    ):
+        if not isinstance(point, dict):
+            problems.append(f"{where} is {type(point).__name__}, want object")
+            continue
+        for key in _POINT_KEYS:
+            if key not in point:
+                problems.append(f"{where} missing {key!r}")
+        latency = point.get("latency_ns")
+        if isinstance(latency, dict):
+            for key in _LATENCY_KEYS:
+                if key not in latency:
+                    problems.append(f"{where}.latency_ns missing {key!r}")
+        elif "latency_ns" in point:
+            problems.append(f"{where}.latency_ns is not an object")
+        lifecycle = point.get("lifecycle")
+        if isinstance(lifecycle, dict):
+            for key in _LIFECYCLE_KEYS:
+                if key not in lifecycle:
+                    problems.append(f"{where}.lifecycle missing {key!r}")
+        elif "lifecycle" in point:
+            problems.append(f"{where}.lifecycle is not an object")
+    max_rps = doc.get("max_sustainable_rps")
+    if not isinstance(max_rps, (int, float)) or max_rps < 0:
+        problems.append(f"max_sustainable_rps is {max_rps!r}, want a number >= 0")
+    slo = doc.get("slo")
+    if not isinstance(slo, dict) or "p99_ns" not in slo or "min_completion" not in slo:
+        problems.append("slo must be an object with p99_ns and min_completion")
+    return problems
+
+
+def render(doc: dict) -> str:
+    """Human-readable curve table for one trajectory document."""
+    lines = [
+        f"serving: {doc['workload']}  arrival={doc['arrival']['kind']}  "
+        f"zipf_s={doc['zipf_s']}  seed={doc['seed']}",
+        f"SLO: p99 <= {doc['slo']['p99_ns'] / 1e3:.0f} us and completion >= "
+        f"{doc['slo']['min_completion']:.2f}",
+        f"{'target':>8} {'offered':>9} {'achieved':>9} {'compl':>6} "
+        f"{'p50us':>7} {'p95us':>7} {'p99us':>7} {'slo':>4}",
+    ]
+    for point in sorted(
+        doc["points"] + doc["bisection"], key=lambda p: p["rps_target"]
+    ):
+        latency = point["latency_ns"]
+        lines.append(
+            f"{point['rps_target']:>8} {point['offered_rps']:>9.0f} "
+            f"{point['achieved_rps']:>9.0f} {point['completion']:>6.3f} "
+            f"{latency['p50'] / 1e3:>7.1f} {latency['p95'] / 1e3:>7.1f} "
+            f"{latency['p99'] / 1e3:>7.1f} {'ok' if point['slo_ok'] else 'MISS':>4}"
+        )
+    lines.append(f"max sustainable RPS under SLO: {doc['max_sustainable_rps']:.0f}")
+    return "\n".join(lines)

@@ -22,6 +22,7 @@ from repro.workloads.grepwl import GrepWorkload
 from repro.workloads.memcachedwl import MemcachedWorkload
 from repro.workloads.miniamr import MiniAmrWorkload
 from repro.workloads.signal_search import SignalSearchWorkload
+from repro.workloads.udpecho import UdpEchoWorkload
 from repro.workloads.wordcount import WordcountWorkload
 
 __all__ = [
@@ -30,6 +31,7 @@ __all__ = [
     "MemcachedWorkload",
     "MiniAmrWorkload",
     "SignalSearchWorkload",
+    "UdpEchoWorkload",
     "WordcountWorkload",
     "WorkloadResult",
 ]

@@ -35,6 +35,14 @@ CPU_COMPARE_NS_PER_ELEM = 70.0
 GPU_COMPARE_CYCLES_PER_ELEM = 12.0
 SERVER_PORT = 11211
 
+#: Serving-mode wire framing (shared with :mod:`repro.serving.clients`):
+#: requests are ``b"Q" + reqid + b"GET " + key``, replies are
+#: ``b"R" + reqid + value`` where ``reqid`` is 8 bytes big-endian.  A
+#: bare ``b"STOP"`` datagram terminates one server work-group's loop.
+SERVE_REQID_BYTES = 8
+SERVE_HDR_BYTES = 1 + SERVE_REQID_BYTES
+SERVE_STOP = b"STOP"
+
 
 class HashTable:
     """Fixed-size bucketed table with real byte values."""
@@ -113,16 +121,23 @@ class MemcachedWorkload:
         num_requests: int = 64,
         concurrency: int = 8,
         seed: int = 23,
+        request_keys: Optional[List[bytes]] = None,
     ):
         self.system = system
         self.table = HashTable(num_buckets, elems_per_bucket, value_bytes, seed)
         self.value_bytes = value_bytes
-        self.num_requests = num_requests
         self.concurrency = concurrency
-        rng = DeterministicRandom(seed + 1)
-        self.request_keys: List[bytes] = [
-            rng.choice(self.table.keys) for _ in range(num_requests)
-        ]
+        if request_keys is None:
+            # Legacy path: draw uniformly from the table's keys.  The rng
+            # construction and draw sequence are byte-for-byte what they
+            # always were, so default runs replay identically.
+            rng = DeterministicRandom(seed + 1)
+            request_keys = [rng.choice(self.table.keys) for _ in range(num_requests)]
+        else:
+            request_keys = list(request_keys)
+            num_requests = len(request_keys)
+        self.num_requests = num_requests
+        self.request_keys: List[bytes] = request_keys
         self.latencies: List[float] = []
 
     # -- client ------------------------------------------------------------------
@@ -329,6 +344,105 @@ class MemcachedWorkload:
 
         system.run_to_completion(main(), name="memcached-genesys")
         return self._result("genesys", start, replies)
+
+    # -- GENESYS serving mode: external open-loop client stream --------------------
+
+    def serve_genesys(
+        self,
+        driver: Generator,
+        num_workgroups: int = 8,
+        workgroup_size: int = 64,
+        rx_backlog: Optional[int] = None,
+    ) -> Dict[str, object]:
+        """Serve an externally generated request stream until it ends.
+
+        Unlike :meth:`run_genesys` (closed-loop, fixed per-group quota),
+        every work-group loops recvfrom -> parallel scan -> sendto until
+        it consumes a ``SERVE_STOP`` datagram.  ``driver`` is a process
+        body — typically :mod:`repro.serving`'s client fleet — that owns
+        the load: it is started once the server socket is bound and the
+        kernel launched, and when it returns the server posts exactly one
+        STOP per work-group and joins the kernel.
+
+        ``rx_backlog`` bounds the server socket's receive queue (see
+        ``UdpSocket.rx_capacity``) so overload drops instead of queueing
+        without limit; the bound is lifted for the STOP datagrams so
+        shutdown cannot be dropped.
+
+        Wire framing: ``b"Q" + reqid + b"GET " + key`` in,
+        ``b"R" + reqid + value`` out (``SERVE_HDR_BYTES`` header).
+        Replies are fixed-size (header + ``value_bytes``) so every lane
+        can issue the coalesced sendto without reading a length the
+        group leader may not have published yet.
+        """
+        system = self.system
+        kernel = system.kernel
+        table = self.table
+        server = kernel.create_process("mc-serve")
+        served = [0] * num_workgroups
+        reply_bytes = SERVE_HDR_BYTES + self.value_bytes
+        wg_opts = dict(
+            granularity=Granularity.WORK_GROUP, ordering=Ordering.RELAXED,
+            blocking=True, wait=WaitMode.POLL,
+        )
+
+        def server_kernel(ctx) -> Generator:
+            fd = ctx.args[0]
+            shared = ctx.group.shared
+            if "rbuf" not in shared:
+                shared["rbuf"] = system.memsystem.alloc_buffer(64)
+                shared["obuf"] = system.memsystem.alloc_buffer(reply_bytes)
+            rbuf, obuf = shared["rbuf"], shared["obuf"]
+            while True:
+                n, src = yield from ctx.sys.recvfrom(fd, rbuf, rbuf.size, **wg_opts)
+                msg = bytes(rbuf.data[:n])
+                if msg == SERVE_STOP:
+                    return
+                key = msg[SERVE_HDR_BYTES + 4 :]  # skip header + b"GET "
+                bucket_len = table.bucket_len(key)
+                per_item = -(-bucket_len // ctx.group.size)
+                yield Compute(per_item * GPU_COMPARE_CYCLES_PER_ELEM)
+                yield MemRead(obuf.addr, self.value_bytes)
+                if ctx.is_group_leader:
+                    value = table.get(key) or bytes(self.value_bytes)
+                    reply = b"R" + msg[1:SERVE_HDR_BYTES] + value
+                    obuf.data[: len(reply)] = reply
+                    served[ctx.group_id] += 1
+                yield from ctx.sys.sendto(fd, obuf, reply_bytes, src, **wg_opts)
+
+        def main() -> Generator:
+            fd = yield from kernel.call(server, "socket")
+            yield from kernel.call(server, "bind", fd, SERVER_PORT)
+            if rx_backlog is not None:
+                kernel._socket_for(server, fd).rx_capacity = rx_backlog
+            system.genesys.host_process = server
+            launch = system.launch(
+                server_kernel,
+                global_size=num_workgroups * workgroup_size,
+                workgroup_size=workgroup_size,
+                args=(fd,),
+                name="mc-serve-kernel",
+            )
+            yield system.sim.process(driver, name="serving-driver")
+            # The stream is over: lift the backlog bound so the STOPs
+            # cannot be dropped, then stop each work-group.  Each group
+            # consumes exactly one STOP (it returns immediately after),
+            # so num_workgroups STOPs terminate all of them.
+            kernel._socket_for(server, fd).rx_capacity = None
+            ctl = yield from kernel.call(server, "socket")
+            stop = system.memsystem.alloc_buffer(len(SERVE_STOP))
+            stop.data[:] = SERVE_STOP
+            for _ in range(num_workgroups):
+                yield from kernel.call(
+                    server, "sendto", ctl, stop, len(SERVE_STOP),
+                    ("localhost", SERVER_PORT),
+                )
+            yield launch
+            yield from kernel.call(server, "close", ctl)
+            yield from kernel.call(server, "close", fd)
+
+        system.run_to_completion(main(), name="memcached-serve")
+        return {"served": sum(served), "served_per_group": list(served)}
 
     # -- concurrent SETs + GPU GETs ----------------------------------------------
 

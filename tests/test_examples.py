@@ -21,6 +21,7 @@ EXAMPLES = [
     "faults_demo",
     "sanitizer_demo",
     "runfarm_demo",
+    "serving_demo",
 ]
 
 
