@@ -89,6 +89,11 @@ class Genesys:
             ("granularity", "invocation_id", "name", "hw_id", "blocking"),
             "a GPU work-item published a READY syscall request",
         )
+        self.tp_inflight = self.probes.tracepoint(
+            "syscall.inflight",
+            ("outstanding",),
+            "gauge: invocations in flight after an issue or completion",
+        )
         self.tp_dispatch = self.probes.tracepoint(
             "syscall.dispatch",
             ("name", "hw_id", "invocation_id"),
@@ -403,6 +408,8 @@ class Genesys:
     def note_issued(self, granularity: Granularity, slot: Optional[Slot] = None) -> None:
         self.outstanding += 1
         self.invocation_counts[granularity] += 1
+        if self.tp_inflight.enabled:
+            self.tp_inflight.fire(self.outstanding)
         if self._watchdog_handle is None:
             self._arm_watchdog()
         if self.tp_submit.enabled:
@@ -548,6 +555,8 @@ class Genesys:
     def _note_completion(self) -> None:
         """One invocation reached a definite status (serviced or reclaimed)."""
         self.outstanding -= 1
+        if self.tp_inflight.enabled:
+            self.tp_inflight.fire(self.outstanding)
         if self.outstanding == 0 and self._all_complete is not None:
             event, self._all_complete = self._all_complete, None
             event.succeed()

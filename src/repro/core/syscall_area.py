@@ -57,7 +57,7 @@ class Slot:
 
     __slots__ = (
         "index", "addr", "state", "request", "result", "completion", "sim",
-        "on_transition", "on_protocol_error", "protocol_errors",
+        "on_transition", "on_occupancy", "on_protocol_error", "protocol_errors",
         "last_transition_ns", "tp_transition", "_done_name",
     )
 
@@ -77,6 +77,10 @@ class Slot:
         self.on_transition: Optional[
             Callable[[float, "Slot", SlotState, SlotState, str], None]
         ] = None
+        #: Optional callback(became_occupied) fired whenever the slot
+        #: crosses the FREE boundary in either direction — the area uses
+        #: it to maintain its ``slot.occupancy`` gauge.
+        self.on_occupancy: Optional[Callable[[bool], None]] = None
         #: Optional callback(slot, op, actor, detail) invoked on every
         #: rejected transition — the SyscallArea wires it to the counted
         #: ``slot.protocol_error`` tracepoint.  ``actor`` names who broke
@@ -121,6 +125,10 @@ class Slot:
             self.tp_transition.fire(
                 self.index, old_state.value, new_state.value, actor
             )
+        if self.on_occupancy is not None and (
+            (old_state is SlotState.FREE) != (new_state is SlotState.FREE)
+        ):
+            self.on_occupancy(old_state is SlotState.FREE)
         if self.on_transition is not None:
             self.on_transition(self.sim.now, self, old_state, new_state, actor)
 
@@ -232,6 +240,9 @@ class Slot:
             self.tp_transition.fire(
                 self.index, old_state.value, self.state.value, "watchdog"
             )
+        if self.on_occupancy is not None and self.state is SlotState.FREE:
+            # READY/PROCESSING -> FREE: the slot just emptied.
+            self.on_occupancy(False)
         if self.on_transition is not None:
             self.on_transition(self.sim.now, self, old_state, self.state, "watchdog")
         if completion is not None and not completion.triggered:
@@ -281,6 +292,14 @@ class SyscallArea:
             ("slot_index", "old", "new", "actor"),
             "a slot walked one legal Figure-6 state-machine edge",
         )
+        self.tp_occupancy = registry.tracepoint(
+            "slot.occupancy",
+            ("occupied", "slots"),
+            "gauge: non-FREE slots in this area after a FREE-boundary "
+            "crossing, out of the area's total",
+        )
+        #: Gauge state behind ``slot.occupancy``.
+        self.occupied = 0
         self.protocol_errors = 0
         # Slots are materialised on first use: a default machine reserves
         # 40960 of them but a typical run touches a handful, and every
@@ -305,6 +324,7 @@ class SyscallArea:
                 self.sim, index, self.base_addr + index * self.stride
             )
             slot.on_protocol_error = self._note_protocol_error
+            slot.on_occupancy = self._note_occupancy
             slot.tp_transition = self.tp_transition
         return slot
 
@@ -312,6 +332,11 @@ class SyscallArea:
         self.protocol_errors += 1
         if self.tp_protocol_error.enabled:
             self.tp_protocol_error.fire(slot.index, op, actor, detail)
+
+    def _note_occupancy(self, became_occupied: bool) -> None:
+        self.occupied += 1 if became_occupied else -1
+        if self.tp_occupancy.enabled:
+            self.tp_occupancy.fire(self.occupied, self.num_slots)
 
     def materialized(self) -> List[Slot]:
         """Slots that have ever been touched (never-materialised ones

@@ -82,6 +82,19 @@ class Gpu:
             ("hw_id", "halted_ns"),
             "a sleeping wavefront woke up; halted_ns = time asleep",
         )
+        self.tp_wf_occupancy = self.probes.tracepoint(
+            "gpu.wf.occupancy",
+            ("halted", "live"),
+            "gauge: halted vs live wavefronts after a start/halt/resume/retire",
+        )
+        self.tp_lanes_runnable = self.probes.tracepoint(
+            "gpu.lanes.runnable",
+            ("hw_id", "runnable", "live"),
+            "gauge: runnable vs live lanes after a wavefront lane-set change",
+        )
+        #: Gauge state behind ``gpu.wf.occupancy``.
+        self.live_wavefronts = 0
+        self.halted_wavefronts = 0
         self.utilization = UtilizationTracker(
             sim, config.num_cus * config.wavefront_slots_per_cu, name="gpu-slots"
         )
@@ -185,7 +198,13 @@ class Gpu:
         for slot_id, lanes in zip(slot_ids, wavefront_lanes):
             wavefront = Wavefront(self.sim, self, group, lanes, cu.cu_id, slot_id)
             self.utilization.busy()
+            self.live_wavefronts += 1
+            self._note_occupancy()
             self.sim.process(wavefront.run(), name=f"wf:{wavefront.hw_id}")
+
+    def _note_occupancy(self) -> None:
+        if self.tp_wf_occupancy.enabled:
+            self.tp_wf_occupancy.fire(self.halted_wavefronts, self.live_wavefronts)
 
     # -- callbacks from wavefronts ------------------------------------------
 
@@ -204,6 +223,8 @@ class Gpu:
         stats["divergent_steps"] += wavefront.divergent_steps
         stats["lane_slots"] += wavefront.steps * wavefront.width
         self.utilization.idle()
+        self.live_wavefronts -= 1
+        self._note_occupancy()
         self.cus[wavefront.cu_id].release_slot(wavefront.slot_id)
         group = wavefront.group
         group.wavefront_finished()

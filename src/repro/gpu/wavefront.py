@@ -130,6 +130,9 @@ class Wavefront:
                 if not runnable:
                     yield from self._wait_for_wake(live)
                     runnable = [lane for lane in live if lane.blocked_on is None]
+                    tp_runnable = self.gpu.tp_lanes_runnable
+                    if tp_runnable.enabled:
+                        tp_runnable.fire(self.hw_id, len(runnable), len(live))
                     continue
 
                 self.steps += 1
@@ -187,6 +190,9 @@ class Wavefront:
                 if lanes_changed:
                     live = [lane for lane in live if not lane.finished]
                     runnable = [lane for lane in live if lane.blocked_on is None]
+                    tp_runnable = self.gpu.tp_lanes_runnable
+                    if tp_runnable.enabled:
+                        tp_runnable.fire(self.hw_id, len(runnable), len(live))
         finally:
             self.gpu.wavefront_finished(self)
 
@@ -233,13 +239,16 @@ class Wavefront:
 
     def _wait_for_wake(self, live: List[_Lane]) -> Generator:
         """All lanes blocked: sleep until at least one can progress."""
-        tp_halt = self.gpu.tp_wf_halt
-        tp_resume = self.gpu.tp_wf_resume
+        gpu = self.gpu
+        tp_halt = gpu.tp_wf_halt
+        tp_resume = gpu.tp_wf_resume
         observing = tp_halt.enabled or tp_resume.enabled
         if observing:
             halted_at = self.sim.now
             if tp_halt.enabled:
                 tp_halt.fire(self.hw_id, len(live))
+        gpu.halted_wavefronts += 1
+        gpu._note_occupancy()
         distinct = {}
         for lane in live:
             distinct[id(lane.blocked_on)] = lane.blocked_on
@@ -261,6 +270,8 @@ class Wavefront:
         if resume:
             # One scalar wake message re-schedules the wavefront.
             yield self.gpu.config.halt_resume_ns
+        gpu.halted_wavefronts -= 1
+        gpu._note_occupancy()
         if observing and tp_resume.enabled:
             tp_resume.fire(self.hw_id, self.sim.now - halted_at)
 

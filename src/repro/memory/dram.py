@@ -45,11 +45,24 @@ class Dram:
             ("agent", "stall_ns"),
             "queueing delay behind other transfers (contention, Fig. 9)",
         )
+        self.tp_queue = registry.tracepoint(
+            "dram.queue",
+            ("depth",),
+            "gauge: transfers in service or queued on the channel, "
+            "including the one being enqueued",
+        )
+
+    def _observing(self) -> bool:
+        return (
+            self.tp_access.enabled
+            or self.tp_stall.enabled
+            or self.tp_queue.enabled
+        )
 
     def cpu_access(self, nbytes: int = CACHELINE_BYTES) -> Generator:
         """Process body: one CPU-originated transfer."""
         self.cpu_accesses += 1
-        if self.tp_access.enabled or self.tp_stall.enabled:
+        if self._observing():
             yield from self._observed_transfer("cpu", nbytes)
         else:
             yield from self.channel.transfer(nbytes)
@@ -57,13 +70,15 @@ class Dram:
     def gpu_access(self, nbytes: int = CACHELINE_BYTES) -> Generator:
         """Process body: one GPU-originated transfer."""
         self.gpu_accesses += 1
-        if self.tp_access.enabled or self.tp_stall.enabled:
+        if self._observing():
             yield from self._observed_transfer("gpu", nbytes)
         else:
             yield from self.channel.transfer(nbytes)
 
     def _observed_transfer(self, agent: str, nbytes: int) -> Generator:
         start = self.sim.now
+        if self.tp_queue.enabled:
+            self.tp_queue.fire(self.channel.queue_depth + 1)
         yield from self.channel.transfer(nbytes)
         if self.tp_access.enabled:
             self.tp_access.fire(agent, nbytes)

@@ -1,0 +1,189 @@
+"""Exporters for the windowed metrics plane.
+
+Four sinks, all fed from ``MetricsHub.export_series()``:
+
+* :func:`prometheus_text` — Prometheus exposition format (one gauge per
+  windowed reading plus lifetime ``_total`` counters), for scraping a
+  run's final state or diffing in CI.
+* :func:`csv_text` — long-form ``metric,t0_ns,value`` rows, the archival
+  format the CI smoke step schema-checks.
+* :func:`metrics_counter_events` — Trace Event Format "C" counter
+  tracks merged into the :mod:`repro.traceviz` Perfetto export as a
+  ``metrics`` process (pid 5, next to syscalls=1, counters=2, probes=3,
+  spans=4).
+* :func:`series_payload` — a JSON-ready dict embedded in reports
+  (``BENCH_serving.json`` carries its serving-specific sibling).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Dict, List, Optional
+
+from repro.metrics.hub import MetricsHub, metrics_hubs
+
+__all__ = [
+    "METRICS_SCHEMA",
+    "PID_METRICS",
+    "csv_text",
+    "metrics_counter_events",
+    "prometheus_text",
+    "series_payload",
+]
+
+#: pid of the metrics counter tracks in the Chrome-trace export
+#: (1 = syscalls, 2 = machine counters, 3 = probes, 4 = spans).
+PID_METRICS = 5
+
+METRICS_SCHEMA = 1
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def _prom_name(name: str) -> str:
+    return "repro_" + _NAME_RE.sub("_", name)
+
+
+def prometheus_text(hub: MetricsHub, experiment: str = "") -> str:
+    """Prometheus exposition text for ``hub``'s current state.
+
+    Counters surface their lifetime total (TYPE counter) and the last
+    closed window's rate (TYPE gauge); gauges/levels/ratios surface the
+    last window's primary reading; histograms surface windowed
+    p50/p95/p99 plus a lifetime observation counter.  Output is sorted
+    and deterministic for a given run.
+    """
+    hub.finalize()
+    labels = f'{{experiment="{experiment}"}}' if experiment else ""
+    lines: List[str] = []
+
+    def emit(name: str, kind: str, help_text: str, value: float) -> None:
+        lines.append(f"# HELP {name} {help_text}")
+        lines.append(f"# TYPE {name} {kind}")
+        lines.append(f"{name}{labels} {value:.6g}")
+
+    for name in sorted(hub.metrics):
+        estimator = hub.metrics[name]
+        spec = hub.specs[name]
+        base = _prom_name(name)
+        help_text = spec.help or name
+        kind = estimator.kind
+        if kind == "counter":
+            emit(base + "_total", "counter", help_text + " (lifetime)",
+                 estimator.total)  # type: ignore[attr-defined]
+            emit(base, "gauge", help_text + " (last window)",
+                 hub.read(name))
+        elif kind == "histogram":
+            emit(base + "_count_total", "counter",
+                 help_text + " (lifetime observations)",
+                 float(estimator.lifetime_count))  # type: ignore[attr-defined]
+            for q in ("p50", "p95", "p99"):
+                emit(f"{base}_{q}", "gauge",
+                     help_text + f" (windowed {q})",
+                     hub.read(name, mode=q))
+        elif kind == "gauge":
+            emit(base, "gauge", help_text + " (window mean)",
+                 hub.read(name))
+            emit(base + "_max", "gauge", help_text + " (window max)",
+                 hub.read(name, mode="max"))
+        else:  # level / ratio
+            emit(base, "gauge", help_text, hub.read(name))
+    return "\n".join(lines) + "\n"
+
+
+def csv_text(hub: MetricsHub) -> str:
+    """Long-form CSV of every closed window: ``metric,t0_ns,value``."""
+    hub.finalize()
+    rows = ["metric,t0_ns,value"]
+    for key, series in sorted(hub.export_series().items()):
+        for t0, value in series:
+            rows.append(f"{key},{t0:.0f},{value:.6g}")
+    return "\n".join(rows) + "\n"
+
+
+def series_payload(hub: MetricsHub) -> Dict[str, Any]:
+    """JSON-ready windowed series for embedding in reports."""
+    hub.finalize()
+    return {
+        "schema": METRICS_SCHEMA,
+        "window_ns": hub.window_ns,
+        "ticks": hub.ticks,
+        "label": hub.label,
+        "series": {
+            key: [[t0, value] for t0, value in series]
+            for key, series in sorted(hub.export_series().items())
+        },
+    }
+
+
+def metrics_counter_events(registry: Any, pid: int = PID_METRICS) -> List[dict]:
+    """Trace Event Format "C" events for every hub on ``registry``.
+
+    ``registry`` may be ``None`` (systems predating probes) — returns
+    ``[]`` so :mod:`repro.traceviz` can call this unconditionally.
+    """
+    hubs = metrics_hubs(registry)
+    if not hubs:
+        return []
+    events: List[dict] = []
+    named = False
+    multi = len(hubs) > 1
+    for hub in hubs:
+        hub.finalize()
+        exported = hub.export_series()
+        if not any(exported.values()):
+            continue
+        if not named:
+            events.append(
+                {
+                    "name": "process_name",
+                    "ph": "M",
+                    "pid": pid,
+                    "args": {"name": "metrics"},
+                }
+            )
+            events.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": 0,
+                    "args": {"name": "windowed metrics"},
+                }
+            )
+            named = True
+        prefix = f"{hub.label}:" if multi and hub.label else ""
+        for key in sorted(exported):
+            series = exported[key]
+            if not series:
+                continue
+            track = f"metric:{prefix}{key}"
+            for t_ns, value in series:
+                events.append(
+                    {
+                        "name": track,
+                        "cat": "metric",
+                        "ph": "C",
+                        "ts": t_ns / 1000.0,  # trace format wants microseconds
+                        "pid": pid,
+                        "args": {"value": round(value, 4)},
+                    }
+                )
+    return events
+
+
+def write_prometheus(
+    hub: MetricsHub, path: str, experiment: str = ""
+) -> None:
+    with open(path, "w") as fh:
+        fh.write(prometheus_text(hub, experiment))
+
+
+def write_csv(hub: MetricsHub, path: str) -> None:
+    with open(path, "w") as fh:
+        fh.write(csv_text(hub))
+
+
+def merged_hub_payloads(registry: Optional[Any]) -> List[Dict[str, Any]]:
+    """Per-hub series payloads for multi-System reports."""
+    return [series_payload(hub) for hub in metrics_hubs(registry)]

@@ -258,6 +258,11 @@ class FileSystem:
             ("candidates",),
             "return an (inode, page) key to evict instead of the LRU head",
         )
+        self.tp_pc_resident = registry.tracepoint(
+            "fs.pagecache.resident",
+            ("pages",),
+            "gauge: resident page count after an insert/evict batch",
+        )
 
     # -- page-cache accounting ------------------------------------------------
 
@@ -283,6 +288,8 @@ class FileSystem:
                 self.page_cache_evictions += 1
                 if self.tp_pc_evict.enabled:
                     self.tp_pc_evict.fire(victim_inode.ino, victim_page)
+        if self.tp_pc_resident.enabled:
+            self.tp_pc_resident.fire(len(self._page_lru))
 
     def _cache_touch(self, inode: FileInode, pages) -> None:
         for page in pages:

@@ -95,11 +95,14 @@ class Network:
             "net.rx", ("nbytes",), "datagram received from a socket queue"
         )
         self.tp_drop = registry.tracepoint(
-            "net.drop", ("reason",), "datagram dropped (loss model or unbound dest)"
+            "net.drop",
+            ("reason", "sock_id"),
+            "datagram dropped (loss model, unbound dest, or full backlog); "
+            "sock_id is the destination socket, or None before one resolved",
         )
         self.tp_backlog = registry.tracepoint(
             "net.backlog",
-            ("depth",),
+            ("depth", "sock_id"),
             "receive-queue depth after a datagram was enqueued (0 = handed "
             "straight to a blocked receiver)",
         )
@@ -172,14 +175,14 @@ class Network:
             # Deterministic loss model: UDP is lossy by contract.
             self.packets_dropped += 1
             if self.tp_drop.enabled:
-                self.tp_drop.fire("loss-model")
+                self.tp_drop.fire("loss-model", None)
             return len(payload)
         target = self._bound.get(dest)
         if target is None or target.closed:
             # UDP: silently dropped (no ICMP model).
             self.packets_dropped += 1
             if self.tp_drop.enabled:
-                self.tp_drop.fire("unbound-dest")
+                self.tp_drop.fire("unbound-dest", None)
             return len(payload)
         datagram = Datagram(payload, (sock.host, sock.port))
         if self.hook_fault.active:
@@ -222,7 +225,7 @@ class Network:
             self.rx_queue_drops += 1
             self.packets_dropped += 1
             if self.tp_drop.enabled:
-                self.tp_drop.fire("backlog")
+                self.tp_drop.fire("backlog", target.sock_id)
             return False
         target.rx_packets += 1
         target.queue.put(datagram)
@@ -230,7 +233,7 @@ class Network:
         if depth > self.rx_backlog_peak:
             self.rx_backlog_peak = depth
         if self.tp_backlog.enabled:
-            self.tp_backlog.fire(depth)
+            self.tp_backlog.fire(depth, target.sock_id)
         return True
 
     def _deliver_later(

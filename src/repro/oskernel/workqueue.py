@@ -120,6 +120,17 @@ class WorkQueue:
             ("worker_id", "service_ns", "task_index"),
             "task finished on a worker",
         )
+        self.tp_depth = registry.tracepoint(
+            "wq.depth",
+            ("backlog",),
+            "gauge: queue depth after an enqueue or a worker pickup",
+        )
+        self.tp_busy = registry.tracepoint(
+            "wq.busy",
+            ("busy", "workers"),
+            "gauge: workers executing a task, out of the pool size",
+        )
+        self._busy_workers = 0
         self.hook_worker = registry.hook(
             "wq.worker",
             ("task_index", "num_workers"),
@@ -241,6 +252,8 @@ class WorkQueue:
         queue.put(record)
         if self.tp_enqueue.enabled:
             self.tp_enqueue.fire(self.backlog, index)
+        if self.tp_depth.enabled:
+            self.tp_depth.fire(self.backlog)
 
     def _worker_loop(self, worker_id: int) -> Generator:
         private = self._private[worker_id]
@@ -288,6 +301,25 @@ class WorkQueue:
             picked_at = self.sim.now
             if self.tp_dequeue.enabled:
                 self.tp_dequeue.fire(worker_id, record.index)
+        if self.tp_depth.enabled:
+            self.tp_depth.fire(self.backlog)
+        self._busy_workers += 1
+        if self.tp_busy.enabled:
+            self.tp_busy.fire(self._busy_workers, self.num_workers)
+        try:
+            alive = yield from self._execute(worker_id, record, epoch, observing)
+        finally:
+            self._busy_workers -= 1
+            if self.tp_busy.enabled:
+                self.tp_busy.fire(self._busy_workers, self.num_workers)
+        return alive
+
+    def _execute(
+        self, worker_id: int, record: _TaskRecord, epoch: int, observing: bool
+    ) -> Generator:
+        """The fault/forfeit/dispatch/body half of one task execution."""
+        if observing:
+            picked_at = record.picked_at
         if self.hook_fault.active:
             action = self.hook_fault.decide(None, worker_id, record.index)
             if action == "kill":

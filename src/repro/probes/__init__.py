@@ -30,6 +30,7 @@ from repro.probes.programs import (
     LatencyHistogram,
     ProbeProgram,
     RateMeter,
+    percentile_from_log2_buckets,
 )
 from repro.probes.tracepoints import (
     NULL_TRACEPOINT,
@@ -56,6 +57,7 @@ __all__ = [
     "fixed",
     "install_global_plan",
     "metrics_snapshot",
+    "percentile_from_log2_buckets",
     "probe_counter_events",
     "write_metrics_snapshot",
 ]

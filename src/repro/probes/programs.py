@@ -27,6 +27,28 @@ from typing import Any, Dict, List, Optional, Tuple
 from repro.probes.tracepoints import ProbeRegistry, Tracepoint
 
 
+def percentile_from_log2_buckets(buckets: Dict[int, int], q: float) -> float:
+    """Nearest-rank percentile over log2 buckets; 0.0 when empty.
+
+    Bucket *b* holds values in ``[2^b, 2^(b+1))`` (bucket 0 also absorbs
+    sub-1.0 values); the reported percentile is the holding bucket's
+    upper edge — a conservative bound, exact to within one power of two.
+    A single-sample histogram answers every ``q`` with that sample's
+    bucket edge rather than raising.
+    """
+    total = sum(buckets.values())
+    if total == 0:
+        return 0.0
+    q = min(max(q, 0.0), 100.0)
+    rank = max(1, int(math.ceil(q / 100.0 * total)))
+    seen = 0
+    for bucket in sorted(buckets):
+        seen += buckets[bucket]
+        if seen >= rank:
+            return float(2 ** (bucket + 1))
+    return float(2 ** (max(buckets) + 1))
+
+
 class ProbeProgram:
     """Base class wiring the bind/snapshot plumbing."""
 
@@ -129,6 +151,11 @@ class LatencyHistogram(ProbeProgram):
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def percentile(self, q: float) -> float:
+        """Nearest-rank percentile (bucket upper edge); 0.0 when the
+        histogram is empty, well-defined for a single sample."""
+        return percentile_from_log2_buckets(self.buckets, q)
+
     def snapshot(self) -> dict:
         out = super().snapshot()
         out.update(
@@ -179,6 +206,27 @@ class RateMeter(ProbeProgram):
             (index * self.bin_ns, count * scale)
             for index, count in sorted(self.bins.items())
         ]
+
+    def rate_at(self, t_ns: float) -> float:
+        """Rate (fires/second) of the bin containing ``t_ns``; 0.0 for
+        bins that saw no fires (including before/after the run)."""
+        count = self.bins.get(int(t_ns // self.bin_ns), 0)
+        return count * 1e9 / self.bin_ns
+
+    def rate_between(self, t0_ns: float, t1_ns: float) -> float:
+        """Mean rate over ``[t0_ns, t1_ns)``; zero-duration (or
+        inverted) intervals report 0.0 instead of raising.  Partial
+        bins at the edges are pro-rated by overlap."""
+        duration = t1_ns - t0_ns
+        if duration <= 0:
+            return 0.0
+        fires = 0.0
+        for index, count in self.bins.items():
+            bin_lo = index * self.bin_ns
+            overlap = min(bin_lo + self.bin_ns, t1_ns) - max(bin_lo, t0_ns)
+            if overlap > 0:
+                fires += count * (overlap / self.bin_ns)
+        return fires * 1e9 / duration
 
     def snapshot(self) -> dict:
         out = super().snapshot()

@@ -58,6 +58,7 @@ DETERMINISM_ZONES = ("sim", "core", "oskernel")
 SNAPSHOT_ZONES = DETERMINISM_ZONES + (
     "gpu",
     "memory",
+    "metrics",
     "probes",
     "faults",
     "sanitizers",

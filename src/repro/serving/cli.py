@@ -46,6 +46,10 @@ def _add_config_args(parser: argparse.ArgumentParser) -> None:
                         default=defaults.warmup_ns / 1e3)
     parser.add_argument("--measure-us", type=float,
                         default=defaults.measure_ns / 1e3)
+    parser.add_argument("--window-us", type=float,
+                        default=defaults.report_window_ns / 1e3,
+                        help="report window width for the per-point "
+                             "time-series (microseconds)")
     parser.add_argument("--workgroups", type=int,
                         default=defaults.num_workgroups)
     parser.add_argument("--workgroup-size", type=int,
@@ -72,6 +76,7 @@ def _config_from(args: argparse.Namespace) -> ServingConfig:
         timeout_ns=args.timeout_us * 1e3,
         warmup_ns=args.warmup_us * 1e3,
         measure_ns=args.measure_us * 1e3,
+        report_window_ns=args.window_us * 1e3,
         num_workgroups=args.workgroups,
         workgroup_size=args.workgroup_size,
         rx_backlog=args.rx_backlog or None,

@@ -13,7 +13,11 @@ import json
 from typing import List
 
 SCHEMA = "repro-serving-bench"
-SCHEMA_VERSION = 1
+#: v2: every point carries a ``windows`` time-series (per measure
+#: window: sent/completed/completion/achieved_rps/latency_ns/drops),
+#: its ``window_ns`` width, and point-level backlog ``drops`` counts
+#: (global + per destination socket).
+SCHEMA_VERSION = 2
 
 _TOP_KEYS = (
     "schema", "version", "workload", "arrival", "zipf_s", "seed",
@@ -22,9 +26,15 @@ _TOP_KEYS = (
 _POINT_KEYS = (
     "rps_target", "offered_rps", "achieved_rps", "completion",
     "latency_ns", "lifecycle", "served", "net", "elapsed_ns", "slo_ok",
+    "window_ns", "windows", "drops",
 )
 _LATENCY_KEYS = ("count", "mean", "p50", "p95", "p99", "max")
 _LIFECYCLE_KEYS = ("sent", "completed", "late", "timeout", "dup_replies")
+_WINDOW_KEYS = (
+    "t0_ns", "sent", "completed", "completion", "achieved_rps",
+    "latency_ns", "drops",
+)
+_DROP_KEYS = ("backlog", "by_socket")
 
 
 def build(config, points: List[dict], bisection: List[dict],
@@ -47,6 +57,18 @@ def build(config, points: List[dict], bisection: List[dict],
 def to_json(doc: dict) -> str:
     """Canonical serialization: byte-identical for identical docs."""
     return json.dumps(doc, sort_keys=True, indent=2) + "\n"
+
+
+def _check_drops(where: str, drops) -> List[str]:
+    if drops is None:
+        return []
+    if not isinstance(drops, dict):
+        return [f"{where} is not an object"]
+    problems = [f"{where} missing {key!r}" for key in _DROP_KEYS if key not in drops]
+    by_socket = drops.get("by_socket")
+    if by_socket is not None and not isinstance(by_socket, dict):
+        problems.append(f"{where}.by_socket is not an object")
+    return problems
 
 
 def check_report(doc: dict) -> List[str]:
@@ -95,6 +117,47 @@ def check_report(doc: dict) -> List[str]:
                     problems.append(f"{where}.lifecycle missing {key!r}")
         elif "lifecycle" in point:
             problems.append(f"{where}.lifecycle is not an object")
+        problems.extend(_check_drops(f"{where}.drops", point.get("drops")))
+        windows = point.get("windows")
+        if isinstance(windows, list):
+            if not windows:
+                problems.append(f"{where}.windows must be non-empty")
+            starts = []
+            for j, win in enumerate(windows):
+                wwhere = f"{where}.windows[{j}]"
+                if not isinstance(win, dict):
+                    problems.append(
+                        f"{wwhere} is {type(win).__name__}, want object"
+                    )
+                    continue
+                for key in _WINDOW_KEYS:
+                    if key not in win:
+                        problems.append(f"{wwhere} missing {key!r}")
+                wlat = win.get("latency_ns")
+                if isinstance(wlat, dict):
+                    for key in _LATENCY_KEYS:
+                        if key not in wlat:
+                            problems.append(f"{wwhere}.latency_ns missing {key!r}")
+                elif "latency_ns" in win:
+                    problems.append(f"{wwhere}.latency_ns is not an object")
+                problems.extend(
+                    _check_drops(f"{wwhere}.drops", win.get("drops"))
+                )
+                if isinstance(win.get("t0_ns"), (int, float)):
+                    starts.append(win["t0_ns"])
+            if any(b <= a for a, b in zip(starts, starts[1:])):
+                problems.append(
+                    f"{where}.windows t0_ns not strictly increasing"
+                )
+        elif "windows" in point:
+            problems.append(f"{where}.windows is not a list")
+        window_ns = point.get("window_ns")
+        if "window_ns" in point and (
+            not isinstance(window_ns, (int, float)) or window_ns <= 0
+        ):
+            problems.append(
+                f"{where}.window_ns is {window_ns!r}, want a positive number"
+            )
     max_rps = doc.get("max_sustainable_rps")
     if not isinstance(max_rps, (int, float)) or max_rps < 0:
         problems.append(f"max_sustainable_rps is {max_rps!r}, want a number >= 0")
@@ -112,17 +175,19 @@ def render(doc: dict) -> str:
         f"SLO: p99 <= {doc['slo']['p99_ns'] / 1e3:.0f} us and completion >= "
         f"{doc['slo']['min_completion']:.2f}",
         f"{'target':>8} {'offered':>9} {'achieved':>9} {'compl':>6} "
-        f"{'p50us':>7} {'p95us':>7} {'p99us':>7} {'slo':>4}",
+        f"{'p50us':>7} {'p95us':>7} {'p99us':>7} {'drops':>6} {'slo':>4}",
     ]
     for point in sorted(
         doc["points"] + doc["bisection"], key=lambda p: p["rps_target"]
     ):
         latency = point["latency_ns"]
+        drops = (point.get("drops") or {}).get("backlog", 0)
         lines.append(
             f"{point['rps_target']:>8} {point['offered_rps']:>9.0f} "
             f"{point['achieved_rps']:>9.0f} {point['completion']:>6.3f} "
             f"{latency['p50'] / 1e3:>7.1f} {latency['p95'] / 1e3:>7.1f} "
-            f"{latency['p99'] / 1e3:>7.1f} {'ok' if point['slo_ok'] else 'MISS':>4}"
+            f"{latency['p99'] / 1e3:>7.1f} {drops:>6} "
+            f"{'ok' if point['slo_ok'] else 'MISS':>4}"
         )
     lines.append(f"max sustainable RPS under SLO: {doc['max_sustainable_rps']:.0f}")
     return "\n".join(lines)

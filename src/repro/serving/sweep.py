@@ -24,6 +24,7 @@ records.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -61,6 +62,9 @@ class ServingConfig:
     timeout_ns: float = 400_000.0
     warmup_ns: float = 150_000.0
     measure_ns: float = 600_000.0
+    #: Width of the per-point report windows the measure interval is
+    #: sliced into (time-series in ``BENCH_serving.json``, schema v2).
+    report_window_ns: float = 100_000.0
     num_workgroups: int = 4
     workgroup_size: int = 16
     #: Server receive-queue bound (datagrams); None = unbounded.
@@ -95,6 +99,7 @@ class ServingConfig:
             "timeout_ns": self.timeout_ns,
             "warmup_ns": self.warmup_ns,
             "measure_ns": self.measure_ns,
+            "report_window_ns": self.report_window_ns,
             "num_workgroups": self.num_workgroups,
             "workgroup_size": self.workgroup_size,
             "rx_backlog": self.rx_backlog,
@@ -189,6 +194,36 @@ def memcached_reply_check(workload):
     return check
 
 
+class _MeasureDropTap:
+    """Pure ``net.drop`` observer: backlog-drop counts per measure
+    window and per destination socket.  Closure-free on purpose (the
+    determinism/pickle contract for observers) and computed directly in
+    ``run_point_on`` rather than via a hub, so farmed sweep points —
+    which restore from a snapshot and never see the global attach plan —
+    report the same windows as serial ones."""
+
+    __slots__ = ("registry", "t0", "window_ns", "windows", "total", "by_socket")
+
+    def __init__(self, registry, t0: float, window_ns: float, nwin: int):
+        self.registry = registry
+        self.t0 = t0
+        self.window_ns = window_ns
+        self.windows: List[Dict[str, int]] = [{} for _ in range(nwin)]
+        self.total = 0
+        self.by_socket: Dict[str, int] = {}
+
+    def __call__(self, reason, sock_id) -> None:
+        if reason != "backlog":
+            return
+        index = int((self.registry.now() - self.t0) // self.window_ns)
+        if 0 <= index < len(self.windows):
+            key = str(sock_id)
+            self.total += 1
+            self.by_socket[key] = self.by_socket.get(key, 0) + 1
+            window = self.windows[index]
+            window[key] = window.get(key, 0) + 1
+
+
 def run_point_on(
     system: System, workload, config: ServingConfig, rps: int, check_reply=None
 ) -> dict:
@@ -205,15 +240,27 @@ def run_point_on(
         system, dest, schedule, config.num_clients,
         timeout_ns=config.timeout_ns, check_reply=check_reply,
     )
-    start = system.now
-    served = workload.serve_genesys(
-        fleet.driver(),
-        num_workgroups=config.num_workgroups,
-        workgroup_size=config.workgroup_size,
-        rx_backlog=config.rx_backlog,
-    )
-    elapsed = system.now - start
     lo, hi = config.warmup_ns, config.warmup_ns + config.measure_ns
+    window_ns = config.report_window_ns
+    nwin = max(1, int(math.ceil(config.measure_ns / window_ns - 1e-9)))
+    # The point runs relative to the machine's current clock (restored
+    # snapshots resume mid-timeline), so window origins are offsets from
+    # the run start.
+    run_start = system.now
+    drop_tap = _MeasureDropTap(
+        system.probes, run_start + lo, window_ns, nwin
+    )
+    system.probes.attach("net.drop", drop_tap)
+    try:
+        served = workload.serve_genesys(
+            fleet.driver(),
+            num_workgroups=config.num_workgroups,
+            workgroup_size=config.workgroup_size,
+            rx_backlog=config.rx_backlog,
+        )
+    finally:
+        system.probes.get("net.drop").detach(drop_tap)
+    elapsed = system.now - run_start
     window = [r for r in schedule if lo <= r.sched_ns < hi]
     completed = [r for r in window if r.status(config.timeout_ns) == "completed"]
     latencies = [r.latency_ns() for r in completed]
@@ -221,6 +268,30 @@ def run_point_on(
     achieved_rps = len(completed) / config.measure_ns * 1e9
     completion = len(completed) / len(window) if window else 1.0
     latency = analysis.summarize(latencies)
+    windows = []
+    for k in range(nwin):
+        wlo = lo + k * window_ns
+        whi = min(hi, wlo + window_ns)
+        span = whi - wlo
+        rows = [r for r in window if wlo <= r.sched_ns < whi]
+        done = [r for r in rows if r.status(config.timeout_ns) == "completed"]
+        drops_in = drop_tap.windows[k]
+        windows.append(
+            {
+                "t0_ns": wlo,
+                "sent": len(rows),
+                "completed": len(done),
+                "completion": len(done) / len(rows) if rows else 1.0,
+                "achieved_rps": len(done) / span * 1e9 if span > 0 else 0.0,
+                "latency_ns": analysis.summarize(
+                    [r.latency_ns() for r in done]
+                ),
+                "drops": {
+                    "backlog": sum(drops_in.values()),
+                    "by_socket": dict(sorted(drops_in.items())),
+                },
+            }
+        )
     point = {
         "rps_target": rps,
         "offered_rps": offered_rps,
@@ -231,6 +302,12 @@ def run_point_on(
         "served": served["served"],
         "net": system.kernel.net.stats(),
         "elapsed_ns": elapsed,
+        "window_ns": window_ns,
+        "windows": windows,
+        "drops": {
+            "backlog": drop_tap.total,
+            "by_socket": dict(sorted(drop_tap.by_socket.items())),
+        },
     }
     point["slo_ok"] = bool(
         window

@@ -176,6 +176,11 @@ class BandwidthResource:
     def transfer_time(self, nbytes: int) -> float:
         return self.fixed_latency + nbytes / self.rate
 
+    @property
+    def queue_depth(self) -> int:
+        """Transfers in service or waiting behind the channel gate."""
+        return self._gate.in_use + len(self._gate._queue)
+
     def transfer(self, nbytes: int) -> Generator[Any, Any, None]:
         """Process body: move ``nbytes`` through the channel."""
         if nbytes < 0:

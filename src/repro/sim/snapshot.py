@@ -40,6 +40,7 @@ What is not captured
 from __future__ import annotations
 
 import gc
+import heapq
 import json
 import pickle
 from typing import Any, NamedTuple, Optional, Union
@@ -97,6 +98,23 @@ def check_quiescent(system: Any) -> list:
     :class:`CheckpointError` otherwise.
     """
     sim = system.sim
+    if sim._heap:
+        # Dead entries cannot affect the simulation: cancelled-callback
+        # tombstones, weak (pure-observer) wakeups such as metrics
+        # ticks, and resumes of already-finished processes.  Purge them
+        # so a parked metrics tick does not block checkpointing.
+        live = [
+            entry
+            for entry in sim._heap
+            if (
+                entry[3].fn is not None and not entry[3].weak
+                if entry[2] is None
+                else not entry[2].finished
+            )
+        ]
+        if len(live) != len(sim._heap):
+            sim._heap = live
+            heapq.heapify(sim._heap)
     if sim._heap:
         entries = ", ".join(
             f"t={entry[0]:.0f} {'timer' if entry[2] is None else entry[2].name}"

@@ -122,6 +122,7 @@ def _metadata_events(system: System) -> List[dict]:
 
 def export_chrome_trace(system: System) -> dict:
     """Build the Trace Event Format dict for a finished run."""
+    from repro.metrics.export import metrics_counter_events
     from repro.probes.exporters import probe_counter_events
     from repro.tracing.export import span_events
     from repro.tracing.spans import span_tracers
@@ -132,6 +133,7 @@ def export_chrome_trace(system: System) -> dict:
         + _counter_events(system)
         + probe_counter_events(getattr(system, "probes", None))
         + span_events(span_tracers(getattr(system, "probes", None)))
+        + metrics_counter_events(getattr(system, "probes", None))
     )
     return {
         "traceEvents": events,

@@ -22,6 +22,7 @@ EXAMPLES = [
     "sanitizer_demo",
     "runfarm_demo",
     "serving_demo",
+    "metrics_demo",
 ]
 
 

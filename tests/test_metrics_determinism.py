@@ -1,0 +1,106 @@
+"""The metrics plane's load-bearing guarantee: a fully attached
+MetricsHub leaves every simulated output byte-identical, detached runs
+schedule zero metrics events, and exports are seed-deterministic."""
+
+import json
+
+import pytest
+
+from repro import experiments
+from repro.metrics import MetricsHubPlan
+from repro.metrics.export import csv_text, prometheus_text, series_payload
+from repro.probes.tracepoints import clear_global_plan, install_global_plan
+
+
+def run_attached(name, **plan_kwargs):
+    plan = MetricsHubPlan(**plan_kwargs)
+    install_global_plan(plan)
+    try:
+        return experiments.run(name).render(), plan
+    finally:
+        clear_global_plan()
+
+
+class TestAttachedVersusBare:
+    @pytest.mark.parametrize("name", experiments.all_names())
+    def test_every_experiment_byte_identical(self, name):
+        bare = experiments.run(name).render()
+        attached, plan = run_attached(name)
+        assert attached == bare
+        # Not every experiment builds a System (some drive the raw
+        # machine models); the ones that do must have received a hub.
+        if name == "fig2":
+            assert plan.hubs, "plan never saw a System"
+
+    def test_detached_runs_schedule_zero_metrics_ticks(self):
+        registries = []
+        install_global_plan(registries.append)  # observe only, no hub
+        try:
+            experiments.run("fig2")
+        finally:
+            clear_global_plan()
+        assert registries[0].sim.weak_scheduled == 0
+
+    def test_attached_run_uses_only_weak_ticks(self):
+        _rendered, plan = run_attached("fig2")
+        sim = plan.hub.registry.sim
+        assert sim.weak_scheduled > 0
+        assert plan.hub.ticks > 0
+
+    def test_serving_point_byte_identical_with_hub(self):
+        from repro.serving.sweep import ServingConfig, run_point
+
+        config = ServingConfig(
+            workload="udp-echo", num_clients=8,
+            warmup_ns=50_000.0, measure_ns=100_000.0,
+        )
+        bare = json.dumps(run_point(config, 30_000), sort_keys=True)
+        plan = MetricsHubPlan()
+        install_global_plan(plan)
+        try:
+            attached = json.dumps(run_point(config, 30_000), sort_keys=True)
+        finally:
+            clear_global_plan()
+        assert attached == bare
+        assert plan.hubs
+
+
+class TestExportDeterminism:
+    def test_same_seed_exports_byte_identical(self):
+        _r1, plan1 = run_attached("fig2")
+        _r2, plan2 = run_attached("fig2")
+        hub1, hub2 = plan1.hub, plan2.hub
+        assert csv_text(hub1) == csv_text(hub2)
+        assert prometheus_text(hub1, "fig2") == prometheus_text(hub2, "fig2")
+        assert (
+            json.dumps(series_payload(hub1), sort_keys=True)
+            == json.dumps(series_payload(hub2), sort_keys=True)
+        )
+
+
+class TestGSanComposition:
+    def test_gsan_green_with_hub_under_serving_chaos(self):
+        from repro.faults.chaos import run_one
+        from repro.sanitizers.gsan import GSanPlan
+
+        gsan_plan = GSanPlan()
+        metrics_plan = MetricsHubPlan()
+
+        def both(registry):
+            gsan_plan(registry)
+            metrics_plan(registry)
+
+        install_global_plan(both)
+        try:
+            report = run_one("serving", seed=7)
+        finally:
+            clear_global_plan()
+        assert report.ok, report.violations
+        violations = gsan_plan.finish()
+        assert violations == [], "\n".join(v.render() for v in violations)
+        assert metrics_plan.hubs, "metrics plan never saw a System"
+        # the hub measured the chaos run, it didn't just ride along
+        assert any(
+            hub.read("net.tx.rate", window=100_000, mode="count") > 0
+            for hub in metrics_plan.hubs
+        )

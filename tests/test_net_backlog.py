@@ -56,9 +56,9 @@ def test_backlog_tracepoint_reports_depth():
     system = System()
     net = system.kernel.net
     depths = []
-    system.probes.attach("net.backlog", lambda depth: depths.append(depth))
+    system.probes.attach("net.backlog", lambda depth, sock_id: depths.append(depth))
     drops = []
-    system.probes.attach("net.drop", lambda reason: drops.append(reason))
+    system.probes.attach("net.drop", lambda reason, sock_id: drops.append(reason))
     server = net.socket()
     net.bind(server, 5000)
     server.rx_capacity = 3
@@ -74,7 +74,7 @@ def test_backlog_depth_zero_when_receiver_waits():
     kernel = system.kernel
     net = system.kernel.net
     depths = []
-    system.probes.attach("net.backlog", lambda depth: depths.append(depth))
+    system.probes.attach("net.backlog", lambda depth, sock_id: depths.append(depth))
     proc = kernel.create_process("rx")
     got = []
 

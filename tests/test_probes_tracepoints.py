@@ -168,6 +168,16 @@ class TestSystemCatalogue:
         "mem.l2.miss",
         "dram.access",
         "dram.stall",
+        # gauge-grade fire sites added for the repro.metrics plane
+        "syscall.inflight",
+        "gpu.wf.occupancy",
+        "gpu.lanes.runnable",
+        "wq.depth",
+        "wq.busy",
+        "slot.occupancy",
+        "fs.pagecache.resident",
+        "net.backlog",
+        "dram.queue",
     }
     EXPECTED_HOOKS = {
         "coalesce.window",
