@@ -148,6 +148,7 @@ class DeviceApi:
         ordering: Ordering = Ordering.STRONG,
         blocking: bool = True,
         wait: WaitMode = WaitMode.POLL,
+        priority: int = 0,
     ) -> Generator[Any, Any, Any]:
         """Sub-generator: invoke syscall ``name`` with the given strategy.
 
@@ -166,15 +167,19 @@ class DeviceApi:
         """
         kind = syscall_kind(name)
         if granularity is Granularity.WORK_ITEM:
-            result = yield from self._raw_invoke(name, args, blocking, wait, granularity)
+            result = yield from self._raw_invoke(
+                name, args, blocking, wait, granularity, priority
+            )
             return result
         if granularity is Granularity.WORK_GROUP:
             result = yield from self._workgroup_invoke(
-                name, args, kind, ordering, blocking, wait
+                name, args, kind, ordering, blocking, wait, priority
             )
             return result
         if granularity is Granularity.KERNEL:
-            result = yield from self._kernel_invoke(name, args, ordering, blocking, wait)
+            result = yield from self._kernel_invoke(
+                name, args, ordering, blocking, wait, priority
+            )
             return result
         raise ValueError(f"unknown granularity {granularity!r}")
 
@@ -188,6 +193,7 @@ class DeviceApi:
         ordering: Ordering,
         blocking: bool,
         wait: WaitMode,
+        priority: int = 0,
     ) -> Generator[Any, Any, Any]:
         self._seq += 1
         key = ("sysres", self._seq)
@@ -198,7 +204,7 @@ class DeviceApi:
             yield Barrier()
         if self._ctx.is_group_leader:
             result = yield from self._raw_invoke(
-                name, args, blocking, wait, Granularity.WORK_GROUP
+                name, args, blocking, wait, Granularity.WORK_GROUP, priority
             )
             group.shared[key] = result
         if post_barrier:
@@ -208,7 +214,13 @@ class DeviceApi:
         return group.shared.get(key) if self._ctx.is_group_leader else None
 
     def _kernel_invoke(
-        self, name: str, args: Tuple[Any, ...], ordering: Ordering, blocking: bool, wait: WaitMode
+        self,
+        name: str,
+        args: Tuple[Any, ...],
+        ordering: Ordering,
+        blocking: bool,
+        wait: WaitMode,
+        priority: int = 0,
     ) -> Generator[Any, Any, Any]:
         from repro.core.genesys import OrderingError
 
@@ -220,7 +232,9 @@ class DeviceApi:
             )
         if not self._ctx.is_kernel_leader:
             return None
-        result = yield from self._raw_invoke(name, args, blocking, wait, Granularity.KERNEL)
+        result = yield from self._raw_invoke(
+            name, args, blocking, wait, Granularity.KERNEL, priority
+        )
         self._ctx.kernel.shared[("sysres", name)] = result
         return result
 
@@ -233,8 +247,18 @@ class DeviceApi:
         blocking: bool,
         wait: WaitMode,
         granularity: Granularity,
+        priority: int = 0,
     ) -> Generator[Any, Any, Any]:
         genesys = self._genesys
+        # Circuit-breaker fast-fail (repro.qos): a tripped breaker turns
+        # the whole slot-protocol round trip into an immediate -EBUSY,
+        # before an invocation id is even minted — the shed costs the
+        # GPU nothing and the CPU kernel never hears about it.
+        if blocking and genesys.hook_qos_invoke.active:
+            verdict = genesys.hook_qos_invoke.decide(None, name)
+            if verdict:
+                genesys.qos_fast_fails += 1
+                return -int(verdict)
         ops = self._ops
         if ops is None:
             ops = self._ops = _SlotOps(
@@ -265,6 +289,8 @@ class DeviceApi:
                 genesys.host_process,
                 issued_at=None,
                 invocation_id=invocation_id,
+                deadline_ns=genesys.mint_deadline(name),
+                priority=priority,
             )
 
             # Claim: cmp-swap until the slot is FREE (a previous non-blocking

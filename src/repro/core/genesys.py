@@ -194,6 +194,27 @@ class Genesys:
             ("invocation_id", "name", "slot_index", "was_state"),
             "watchdog reclaimed a stuck slot with -ETIMEDOUT",
         )
+        # QoS decision points (repro.qos).  All dormant by default: no
+        # deadline is minted, nothing sheds, and the no-plan path stays
+        # byte-identical.
+        self.hook_qos_deadline = self.probes.hook(
+            "qos.deadline",
+            ("name",),
+            "override the deadline delta (ns; 0 = none) minted for an "
+            "invocation of this syscall",
+        )
+        self.hook_qos_invoke = self.probes.hook(
+            "qos.invoke",
+            ("name",),
+            "return an Errno to fast-fail this blocking invocation on the "
+            "GPU side before submission (circuit breaker), or None to admit",
+        )
+        self.tp_shed = self.probes.tracepoint(
+            "qos.shed",
+            ("stage", "reason", "invocation_id", "name", "slot_index"),
+            "a request was shed at a stage boundary instead of serviced "
+            "(reason: deadline or priority)",
+        )
         self._scan_suppressed: Set[int] = set()
         self.outstanding = 0
         self._all_complete: Optional[Event] = None
@@ -235,6 +256,20 @@ class Genesys:
         self.slots_reclaimed = 0
         self.watchdog_ticks = 0
         self.syscall_retries = 0
+        # -- QoS state (repro.qos).  Defaults keep the stack policy-free:
+        #: default deadline delta minted per invocation (ns; 0 = none,
+        #: knob: /sys/genesys/qos/deadline_ns, hook: qos.deadline).
+        self.qos_deadline_ns = 0.0
+        #: requests with priority below this floor are shed at dispatch
+        #: (brownout level 3 raises it; 0 sheds nothing).
+        self.qos_priority_floor = 0
+        #: gate for an attached brownout controller (knob:
+        #: /sys/genesys/qos/brownout; 0 pins the controller at level 0).
+        self.qos_brownout_enabled = 1
+        self.syscalls_shed = 0
+        self.qos_fast_fails = 0
+        self.polled_scans = 0
+        self.sheds_by_stage: Dict[str, int] = {}
         self._watchdog_handle: Optional[_TimerHandle] = None
         self._last_progress: Optional[Tuple[int, int, int, int, int]] = None
         gpu.workitem_binder = self._bind_workitem
@@ -368,6 +403,49 @@ class Genesys:
             write_fn=set_worker_timeout,
         )
 
+        # QoS knobs live in their own directory; same validation
+        # discipline as the coalescing knobs above.
+        if not fs.exists("/sys/genesys/qos"):
+            fs.mkdir("/sys/genesys/qos")
+
+        def set_qos_deadline(raw: bytes) -> None:
+            self.qos_deadline_ns = _parse_period("qos/deadline_ns", raw)
+
+        def set_qos_admission(raw: bytes) -> None:
+            self.linux.net.sojourn_budget_ns = _parse_period("qos/admission", raw)
+
+        def set_qos_brownout(raw: bytes) -> None:
+            text = raw.strip()
+            try:
+                value = float(text)
+            except (ValueError, UnicodeDecodeError):
+                raise OsError(
+                    Errno.EINVAL, f"qos/brownout: not a number: {text!r}"
+                ) from None
+            if value != value or value < 0:  # NaN or negative
+                raise OsError(
+                    Errno.EINVAL, f"qos/brownout: must be 0 or 1, got {value!r}"
+                )
+            if value > 1:
+                raise OsError(Errno.EINVAL, f"qos/brownout: {value!r} exceeds 1")
+            self.qos_brownout_enabled = int(value)
+
+        fs.bind_dynamic_file(
+            "/sys/genesys/qos/deadline_ns",
+            lambda: b"%d\n" % int(self.qos_deadline_ns),
+            write_fn=set_qos_deadline,
+        )
+        fs.bind_dynamic_file(
+            "/sys/genesys/qos/admission",
+            lambda: b"%d\n" % int(self.linux.net.sojourn_budget_ns),
+            write_fn=set_qos_admission,
+        )
+        fs.bind_dynamic_file(
+            "/sys/genesys/qos/brownout",
+            lambda: b"%d\n" % self.qos_brownout_enabled,
+            write_fn=set_qos_brownout,
+        )
+
     # -- GPU-side hooks -----------------------------------------------------
 
     def _bind_workitem(self, ctx: WorkItemCtx, wavefront: Wavefront) -> None:
@@ -443,10 +521,89 @@ class Genesys:
         self.interrupts_sent += 1
         self.linux.interrupts.raise_irq(hw_wavefront_id)
 
+    # -- QoS: deadlines and shedding ----------------------------------------
+
+    def mint_deadline(self, name: str) -> Optional[float]:
+        """The absolute deadline for an invocation of ``name`` starting
+        now, or None when no deadline policy is in force.
+
+        The default delta is ``qos_deadline_ns`` (knob:
+        /sys/genesys/qos/deadline_ns); a ``qos.deadline`` program may
+        override it per syscall name (returning 0 exempts the call).
+        """
+        delta = self.qos_deadline_ns
+        if self.hook_qos_deadline.active:
+            delta = self.hook_qos_deadline.decide(delta, name)
+        if not delta or delta <= 0:
+            return None
+        return self.sim.now + float(delta)
+
+    def _shed_slot(self, slot: Slot, stage: str, reason: str) -> None:
+        """Complete a READY slot with -ETIME instead of servicing it.
+
+        Runs the ordinary slot protocol (READY -> PROCESSING -> done) so
+        waiting work-items wake exactly as for a served call and GSan
+        sees a legal, exactly-once completion — just with zero service
+        time and a dead-on-arrival result.
+        """
+        request = slot.start_processing()
+        hw_id = slot.index // self.area.width
+        if self.tp_dispatch.enabled:
+            self.tp_dispatch.fire(request.name, hw_id, request.invocation_id)
+        if not slot.finish(-int(Errno.ETIME), expected=request):
+            return
+        self.syscalls_shed += 1
+        self.sheds_by_stage[stage] = self.sheds_by_stage.get(stage, 0) + 1
+        self._note_completion()
+        if self.tp_shed.enabled:
+            self.tp_shed.fire(
+                stage, reason, request.invocation_id, request.name, slot.index
+            )
+        if self.tp_complete.enabled:
+            self.tp_complete.fire(
+                request.name, hw_id, 0.0, request.invocation_id, request.blocking
+            )
+
+    def _shed_expired(self, hw_wavefront_id: int, stage: str) -> Tuple[int, int]:
+        """Shed every expired READY slot of one wavefront.
+
+        Returns ``(shed, live)``: how many slots were shed and how many
+        READY slots remain.  Cheap when no deadlines are minted — the
+        per-slot check is a None test.
+        """
+        now = self.sim.now
+        shed = 0
+        live = 0
+        for slot in self.area.slots_of(hw_wavefront_id):
+            if slot.state is not SlotState.READY:
+                continue
+            request = slot.request
+            if (
+                request is not None
+                and request.deadline_ns is not None
+                and now > request.deadline_ns
+            ):
+                self._shed_slot(slot, stage, "deadline")
+                shed += 1
+                continue
+            live += 1
+        return shed, live
+
     # -- CPU-side path ------------------------------------------------------
 
     def _bottom_half(self, hw_wavefront_id: int) -> None:
-        """Step 3a: the timed interrupt handler hands off to the coalescer."""
+        """Step 3a: the timed interrupt handler hands off to the coalescer.
+
+        Coalesce-admit shed stage: requests already past deadline are
+        completed with -ETIME here, before they cost a bundle slot; if
+        that empties the wavefront's READY set, no scan is queued and
+        the interrupt suppression lifts so the next request signals
+        afresh.
+        """
+        shed, live = self._shed_expired(hw_wavefront_id, "coalesce")
+        if shed and live == 0:
+            self._scan_suppressed.discard(hw_wavefront_id)
+            return
         self.coalescer.add(hw_wavefront_id)
 
     def _enqueue_scan(self, hw_ids: List[int]) -> None:
@@ -470,6 +627,11 @@ class Genesys:
         if self.tp_scan_start.enabled:
             self.tp_scan_start.fire(scan_id, tuple(hw_ids))
         cpu = self.linux.cpu
+        # Workqueue-pickup shed stage: anything that expired while the
+        # bundle waited in the queue is dropped before we pay the
+        # context switch for it.
+        for hw_id in hw_ids:
+            self._shed_expired(hw_id, "pickup")
         # Adopt the context of the process that launched the kernel
         # (Section VI: syscalls execute outside the invoking context).
         yield from cpu.run(self.config.context_switch_ns)
@@ -478,6 +640,20 @@ class Genesys:
             for slot in self.area.slots_of(hw_id):
                 if slot.state is not SlotState.READY:
                     continue
+                # Dispatch shed stage: servicing earlier calls of the
+                # bundle advanced the clock, and brownout may have
+                # raised the priority floor since submission.
+                pending = slot.request
+                if pending is not None:
+                    if (
+                        pending.deadline_ns is not None
+                        and self.sim.now > pending.deadline_ns
+                    ):
+                        self._shed_slot(slot, "dispatch", "deadline")
+                        continue
+                    if pending.priority < self.qos_priority_floor:
+                        self._shed_slot(slot, "dispatch", "priority")
+                        continue
                 request = slot.start_processing()
                 started_at = self.sim.now
                 if self.tp_dispatch.enabled:
@@ -614,22 +790,38 @@ class Genesys:
         self._arm_watchdog()
 
     def _reclaim_stuck_slots(self) -> int:
-        """Force slots stuck in READY/PROCESSING past the deadline to a
-        definite -ETIMEDOUT status, waking their waiting work-items."""
+        """Force slots stuck in READY/PROCESSING past their limit to a
+        definite error status, waking their waiting work-items.
+
+        Two independent limits apply: the age-based ``slot_timeout_ns``
+        (-ETIMEDOUT, as before) and the invocation's own QoS deadline
+        (-ETIME) — a wedged slot whose deadline passed is reclaimed even
+        when the age timeout is disabled.  ``Slot.reclaim`` returning
+        the abandoned request exactly once (and ``finish`` refusing a
+        stale write-back) keeps the completion single even when a
+        dawdling worker races the reclaim.
+        """
         timeout = self.slot_timeout_ns
         if self.hook_slot_timeout.active:
             timeout = self.hook_slot_timeout.decide(timeout)
-        if not timeout or timeout <= 0:
-            return 0
+        aged_enabled = bool(timeout and timeout > 0)
         now = self.sim.now
         count = 0
         for slot in self.area.materialized():
             if slot.state not in (SlotState.READY, SlotState.PROCESSING):
                 continue
-            if now - slot.last_transition_ns < timeout:
+            pending = slot.request
+            expired = (
+                pending is not None
+                and pending.deadline_ns is not None
+                and now > pending.deadline_ns
+            )
+            aged = aged_enabled and now - slot.last_transition_ns >= timeout
+            if not expired and not aged:
                 continue
             was_state = slot.state.value
-            request = slot.reclaim(-int(Errno.ETIMEDOUT))
+            retval = -int(Errno.ETIME) if expired else -int(Errno.ETIMEDOUT)
+            request = slot.reclaim(retval)
             if request is None:
                 continue
             count += 1
@@ -660,6 +852,27 @@ class Genesys:
         self.degraded += 1
         if self.tp_degraded.enabled:
             self.tp_degraded.fire(tuple(hw_ids))
+        self._enqueue_scan(hw_ids)
+        return len(hw_ids)
+
+    def poll_scan(self) -> int:
+        """Polling-mode servicing pass: enqueue one scan covering every
+        wavefront with READY slots, bypassing the interrupt path.
+
+        The brownout controller's interrupt->polling degradation (the
+        paper's Fig 9/13 tradeoff made dynamic) calls this on its tick
+        while the ``irq.mode`` hook suppresses top halves.
+        """
+        hw_ids = sorted(
+            {
+                slot.index // self.area.width
+                for slot in self.area.materialized()
+                if slot.state is SlotState.READY
+            }
+        )
+        if not hw_ids:
+            return 0
+        self.polled_scans += 1
         self._enqueue_scan(hw_ids)
         return len(hw_ids)
 
@@ -792,6 +1005,13 @@ class Genesys:
             "slots_reclaimed": self.slots_reclaimed,
             "watchdog_ticks": self.watchdog_ticks,
             "syscall_retries": self.syscall_retries,
+            "syscalls_shed": self.syscalls_shed,
+            "sheds_by_stage": {
+                stage: self.sheds_by_stage[stage]
+                for stage in sorted(self.sheds_by_stage)
+            },
+            "qos_fast_fails": self.qos_fast_fails,
+            "polled_scans": self.polled_scans,
             "slot_protocol_errors": self.area.protocol_errors,
             "net": self.linux.net.stats(),
         }

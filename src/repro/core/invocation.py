@@ -92,7 +92,16 @@ class SyscallRequest:
 
     MAX_ARGS = 6
 
-    __slots__ = ("name", "args", "blocking", "proc", "issued_at", "invocation_id")
+    __slots__ = (
+        "name",
+        "args",
+        "blocking",
+        "proc",
+        "issued_at",
+        "invocation_id",
+        "deadline_ns",
+        "priority",
+    )
 
     def __init__(
         self,
@@ -102,6 +111,8 @@ class SyscallRequest:
         proc: "OsProcess",
         issued_at: Optional[float] = None,
         invocation_id: Optional[int] = None,
+        deadline_ns: Optional[float] = None,
+        priority: int = 0,
     ) -> None:
         if len(args) > self.MAX_ARGS:
             raise ValueError(
@@ -114,6 +125,11 @@ class SyscallRequest:
         self.proc = proc
         self.issued_at = issued_at
         self.invocation_id = invocation_id
+        #: Absolute sim-time deadline after which servicing the call is
+        #: wasted work (QoS layer); ``None`` means no deadline.
+        self.deadline_ns = deadline_ns
+        #: Priority class; higher values shed *later* under brownout.
+        self.priority = priority
 
     def __repr__(self) -> str:
         mode = "blocking" if self.blocking else "non-blocking"

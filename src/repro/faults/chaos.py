@@ -109,6 +109,20 @@ PROFILES: Dict[str, FaultPlan] = {
         slot_timeout_ns=0.0,
         worker_timeout_ns=150_000.0,
     ),
+    # Overload control under fire: the serving scenario pushed past its
+    # knee (open-loop overload) with a QoS plan installed, while
+    # doorbells drop and workqueue workers die.  Exercises sojourn
+    # head-drop, fast-fail reject frames, and the brownout controller
+    # alongside the watchdog recovery paths.  slot_timeout stays
+    # disabled (parked blocking recvfrom), so invariants are liveness,
+    # reply integrity, and the shed-aware completion accounting.
+    "qos": FaultPlan(
+        irq_drop=0.10,
+        worker_kill=0.05,
+        watchdog_period_ns=50_000.0,
+        slot_timeout_ns=0.0,
+        worker_timeout_ns=150_000.0,
+    ),
 }
 
 EXPERIMENTS = tuple(PROFILES)
@@ -164,12 +178,17 @@ def check_invariants(system: System) -> List[str]:
     if leaked:
         violations.append(f"slot leak: slots {leaked} not FREE after drain")
     issued = sum(genesys.invocation_counts.values())
-    settled = genesys.syscalls_completed + genesys.slots_reclaimed
+    settled = (
+        genesys.syscalls_completed
+        + genesys.slots_reclaimed
+        + genesys.syscalls_shed
+    )
     if issued != settled:
         violations.append(
             f"completion accounting broken: issued={issued} but "
             f"completed={genesys.syscalls_completed} + "
-            f"reclaimed={genesys.slots_reclaimed} = {settled} "
+            f"reclaimed={genesys.slots_reclaimed} + "
+            f"shed={genesys.syscalls_shed} = {settled} "
             "(duplicate or lost completion)"
         )
     return violations
@@ -181,6 +200,7 @@ def recovery_stats(system: System) -> Dict[str, int]:
     return {
         "syscall_retries": genesys.syscall_retries,
         "slots_reclaimed": genesys.slots_reclaimed,
+        "syscalls_shed": genesys.syscalls_shed,
         "degraded_rescans": genesys.degraded,
         "watchdog_ticks": genesys.watchdog_ticks,
         "slot_protocol_errors": genesys.area.protocol_errors,
@@ -363,12 +383,61 @@ def _run_serving(system: System) -> Dict[str, object]:
     }
 
 
+def _run_qos(system: System) -> Dict[str, object]:
+    """Overload + faults + QoS: the serving scenario at ~2x its knee
+    with the default overload-control plan installed.  The plan must
+    keep the run live (sojourn policing sheds the stale backlog) and —
+    as in every serving scenario — no completed reply may be corrupt."""
+    from repro.serving.sweep import (
+        ServingConfig,
+        build_target,
+        default_overload_plan,
+        memcached_reply_check,
+        run_point_on,
+    )
+
+    config = ServingConfig(
+        num_clients=32,
+        warmup_ns=100_000.0,
+        measure_ns=300_000.0,
+        timeout_ns=400_000.0,
+        elems_per_bucket=64,
+        value_bytes=256,
+        num_workgroups=4,
+        workgroup_size=16,
+    )
+    _system, workload = build_target(config, system=system)
+    from repro.qos import install_qos_plan
+
+    controller = install_qos_plan(default_overload_plan(config), system)
+    point = run_point_on(
+        system, workload, config, rps=220_000,
+        check_reply=memcached_reply_check(workload),
+    )
+    lifecycle = point["lifecycle"]
+    if lifecycle["bad_replies"]:
+        raise AssertionError(
+            f"{lifecycle['bad_replies']} corrupted reply value(s) reached a client"
+        )
+    return {
+        "rps": 220_000,
+        "sent": lifecycle["sent"],
+        "completed": lifecycle["completed"],
+        "late": lifecycle["late"],
+        "timeout": lifecycle["timeout"],
+        "rejected": lifecycle["rejected"],
+        "served": point["served"],
+        "qos": controller.summary(),
+    }
+
+
 _SCENARIOS = {
     "fig2": _run_fig2,
     "grep": _run_grep,
     "memcached": _run_memcached,
     "udp-echo": _run_udp_echo,
     "serving": _run_serving,
+    "qos": _run_qos,
 }
 
 #: Tracepoints that make up the fault/recovery event stream (prefix

@@ -343,6 +343,21 @@ CATALOG: Tuple[MetricSpec, ...] = (
         unit="pkts/s", help="datagrams dropped per second (keyed by reason)",
     ),
     MetricSpec(
+        "net.sojourn", "histogram",
+        (("net.sojourn", "observe", {"value_arg": 0}),),
+        unit="ns", help="receive-queue wait of dequeued datagrams",
+    ),
+    MetricSpec(
+        "wq.sojourn", "histogram",
+        (("wq.sojourn", "observe", {"value_arg": 0}),),
+        unit="ns", help="queue wait of workqueue tasks at pickup",
+    ),
+    MetricSpec(
+        "qos.shed.rate", "counter",
+        (("qos.shed", "count", {"key_arg": 0}),),
+        unit="sheds/s", help="requests shed per second (keyed by stage)",
+    ),
+    MetricSpec(
         "irq.rate", "counter",
         (("syscall.irq", "count", {"gate_arg": 2}),),
         unit="irqs/s", help="GPU-to-CPU interrupts actually raised per second",

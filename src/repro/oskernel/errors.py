@@ -16,6 +16,7 @@ class Errno(IntEnum):
     ENOMEM = 12
     EACCES = 13
     EFAULT = 14
+    EBUSY = 16
     EEXIST = 17
     ENOTDIR = 20
     EISDIR = 21
@@ -28,6 +29,7 @@ class Errno(IntEnum):
     EPIPE = 32
     ENOSYS = 38
     ENOTEMPTY = 39
+    ETIME = 62
     EADDRINUSE = 98
     ETIMEDOUT = 110
     ECONNREFUSED = 111

@@ -61,6 +61,20 @@ class InterruptController:
             "return 'drop' to lose this interrupt, ('delay', ns) to defer "
             "its top half, or None for normal delivery",
         )
+        self.hook_mode = registry.hook(
+            "irq.mode",
+            ("payload",),
+            "return 'poll' to suppress the top half (the brownout "
+            "controller's polling-scan tick services the request instead), "
+            "or None for interrupt-driven delivery",
+        )
+        self.tp_polled = registry.tracepoint(
+            "irq.polled",
+            ("payload",),
+            "top half suppressed: servicing deferred to polling mode",
+        )
+        #: Interrupts absorbed by polling mode (irq.mode verdicts).
+        self.polled = 0
 
     def register_handler(self, handler: Callable[[Any], None]) -> None:
         """Install the bottom-half callback (runs functionally after the
@@ -99,6 +113,13 @@ class InterruptController:
                     self._delayed_top_half(payload, delay_ns), name="irq-delayed"
                 )
                 return True
+        if self.hook_mode.active and self.hook_mode.decide(None, payload) == "poll":
+            # Brownout polling mode: no handler cost is paid now; the
+            # controller's periodic poll_scan picks the request up.
+            self.polled += 1
+            if self.tp_polled.enabled:
+                self.tp_polled.fire(payload)
+            return True
         self.sim.process(self._top_half(payload), name="irq")
         return True
 

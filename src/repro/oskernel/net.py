@@ -9,7 +9,7 @@ real payload bytes.
 
 from __future__ import annotations
 
-from typing import Dict, Generator, Optional, Tuple
+from typing import Any, Dict, Generator, Optional, Tuple
 
 from repro.machine import MachineConfig
 from repro.oskernel.errors import Errno, OsError
@@ -21,11 +21,14 @@ Address = Tuple[str, int]
 
 
 class Datagram:
-    __slots__ = ("payload", "source")
+    __slots__ = ("payload", "source", "enqueued_ns")
 
     def __init__(self, payload: bytes, source: Address):
         self.payload = bytes(payload)
         self.source = source
+        #: When the datagram entered its receive queue (set by
+        #: ``Network._deliver``); sojourn time = dequeue - enqueue.
+        self.enqueued_ns = 0.0
 
 
 class UdpSocket:
@@ -118,17 +121,49 @@ class Network:
             "('delay', ns) to defer delivery, or None for normal transit",
         )
         self.faults_injected = 0
+        # -- QoS admission and sojourn policing (repro.qos).  Only
+        # sockets with a bounded backlog (rx_capacity set) are policed,
+        # which naturally exempts client reply sockets and the
+        # unbounded shutdown path.
+        self.tp_sojourn = registry.tracepoint(
+            "net.sojourn",
+            ("sojourn_ns", "sock_id"),
+            "receive-queue wait of a datagram, measured at dequeue",
+        )
+        self.hook_admit = registry.hook(
+            "net.admit",
+            ("sock_id", "depth", "nbytes"),
+            "return 'drop' to police away an arriving datagram, "
+            "('reject', errno) to also synthesise a fast-fail reply to the "
+            "sender, or None to admit",
+        )
+        #: Max receive-queue sojourn (ns) before a datagram is
+        #: head-dropped at dequeue with a fast-fail reply; 0 disables
+        #: (knob: /sys/genesys/qos/admission).
+        self.sojourn_budget_ns = 0.0
+        #: Datagrams dropped by an admission policy verdict.
+        self.policy_drops = 0
+        #: Datagrams head-dropped at dequeue past the sojourn budget.
+        self.expired_drops = 0
+        #: Fast-fail reply frames synthesised for policed datagrams.
+        self.policy_rejects = 0
 
     def socket(self, host: str = "localhost") -> UdpSocket:
         return UdpSocket(self, host)
 
-    def stats(self) -> Dict[str, int]:
+    def stats(self) -> Dict[str, Any]:
         """Link and backlog counters (see also ``Genesys.stats()['net']``)."""
         return {
             "packets_sent": self.packets_sent,
             "packets_dropped": self.packets_dropped,
             "rx_queue_drops": self.rx_queue_drops,
             "rx_backlog_peak": self.rx_backlog_peak,
+            "drops": {
+                "capacity": self.rx_queue_drops,
+                "policy": self.policy_drops,
+                "expired": self.expired_drops,
+            },
+            "policy_rejects": self.policy_rejects,
         }
 
     def bind(self, sock: UdpSocket, port: int) -> None:
@@ -197,7 +232,12 @@ class Network:
                 self.faults_injected += 1
                 if self.tp_fault.enabled:
                     self.tp_fault.fire("dup", len(payload), 0.0)
-                self._deliver(target, Datagram(payload, (sock.host, sock.port)))
+                # The duplicate copy was never counted in packets_sent,
+                # so losing it must not bump the link-level drop counter
+                # (it still counts in the per-socket/per-reason stats).
+                self._deliver(
+                    target, Datagram(payload, (sock.host, sock.port)), primary=False
+                )
             elif isinstance(action, tuple) and action and action[0] == "delay":
                 delay_ns = float(action[1])
                 self.faults_injected += 1
@@ -211,23 +251,53 @@ class Network:
         self._deliver(target, datagram)
         return len(payload)
 
-    def _deliver(self, target: UdpSocket, datagram: Datagram) -> bool:
+    def _deliver(
+        self,
+        target: UdpSocket,
+        datagram: Datagram,
+        primary: bool = True,
+        policed: bool = True,
+    ) -> bool:
         """Enqueue ``datagram`` at ``target``, honouring the backlog bound.
 
-        Returns False when the bounded receive queue was full and the
-        datagram was dropped (counted per socket and globally).
+        Returns False when the datagram was dropped — by a full bounded
+        receive queue, or by an admission-policy verdict (``net.admit``,
+        consulted only for policed deliveries to bounded sockets).
+        ``primary`` is False for copies that were never counted in
+        ``packets_sent`` (fault-injected duplicates, synthesised reject
+        frames), so losing them does not inflate the link drop counter.
         """
+        if (
+            policed
+            and target.rx_capacity is not None
+            and self.hook_admit.active
+        ):
+            verdict = self.hook_admit.decide(
+                None, target.sock_id, len(target.queue), len(datagram.payload)
+            )
+            if verdict is not None:
+                target.rx_dropped += 1
+                self.policy_drops += 1
+                if primary:
+                    self.packets_dropped += 1
+                if self.tp_drop.enabled:
+                    self.tp_drop.fire("policy", target.sock_id)
+                if isinstance(verdict, tuple) and verdict and verdict[0] == "reject":
+                    self._reject(target, datagram, int(verdict[1]))
+                return False
         if (
             target.rx_capacity is not None
             and len(target.queue) >= target.rx_capacity
         ):
             target.rx_dropped += 1
             self.rx_queue_drops += 1
-            self.packets_dropped += 1
+            if primary:
+                self.packets_dropped += 1
             if self.tp_drop.enabled:
                 self.tp_drop.fire("backlog", target.sock_id)
             return False
         target.rx_packets += 1
+        datagram.enqueued_ns = self.sim.now
         target.queue.put(datagram)
         depth = len(target.queue)
         if depth > self.rx_backlog_peak:
@@ -243,13 +313,57 @@ class Network:
         if not target.closed:
             self._deliver(target, datagram)
 
+    def _reject(self, target: UdpSocket, datagram: Datagram, errno: int) -> None:
+        """Synthesise a fast-fail reply frame for a policed datagram.
+
+        Where a reply socket exists (the source address is still bound),
+        the sender gets ``b"E" + reqid + errno`` instead of silence — a
+        serving client classifies that as *rejected*, not lost.  The
+        frame is a kernel-level synthesis: it bypasses the link model
+        and the admission gate (it must not recurse into policing).
+        """
+        source = self._bound.get(datagram.source)
+        if source is None or source.closed:
+            return
+        payload = datagram.payload
+        reqid = payload[1:9] if len(payload) >= 9 else bytes(8)
+        frame = Datagram(
+            b"E" + reqid + bytes([errno & 0xFF]),
+            (target.host, target.port if target.port is not None else 0),
+        )
+        if self._deliver(source, frame, primary=False, policed=False):
+            self.policy_rejects += 1
+
     def recvfrom(self, sock: UdpSocket, bufsize: int) -> Generator:
-        """Process body: blocking receive; returns (payload, source)."""
+        """Process body: blocking receive; returns (payload, source).
+
+        CoDel-style sojourn policing: with a ``sojourn_budget_ns`` set,
+        datagrams that waited in a *bounded* receive queue longer than
+        the budget are head-dropped here — servicing them would be
+        wasted work, the sender's own deadline having long passed — and
+        the sender gets a fast-fail reject (ETIME) where possible.
+        """
         if sock.closed:
             raise OsError(Errno.EBADF, "socket closed")
         self._ensure_bound(sock)
-        datagram = yield sock.queue.get()
-        if self.tp_rx.enabled:
-            self.tp_rx.fire(len(datagram.payload))
-        payload = datagram.payload[:bufsize]
-        return payload, datagram.source
+        while True:
+            datagram = yield sock.queue.get()
+            if self.tp_sojourn.enabled:
+                self.tp_sojourn.fire(
+                    self.sim.now - datagram.enqueued_ns, sock.sock_id
+                )
+            if (
+                sock.rx_capacity is not None
+                and self.sojourn_budget_ns > 0
+                and self.sim.now - datagram.enqueued_ns > self.sojourn_budget_ns
+            ):
+                sock.rx_dropped += 1
+                self.expired_drops += 1
+                if self.tp_drop.enabled:
+                    self.tp_drop.fire("expired", sock.sock_id)
+                self._reject(sock, datagram, int(Errno.ETIME))
+                continue
+            if self.tp_rx.enabled:
+                self.tp_rx.fire(len(datagram.payload))
+            payload = datagram.payload[:bufsize]
+            return payload, datagram.source

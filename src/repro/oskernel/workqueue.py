@@ -130,6 +130,11 @@ class WorkQueue:
             ("busy", "workers"),
             "gauge: workers executing a task, out of the pool size",
         )
+        self.tp_sojourn = registry.tracepoint(
+            "wq.sojourn",
+            ("sojourn_ns", "task_index"),
+            "queue wait of a task, measured at worker pickup",
+        )
         self._busy_workers = 0
         self.hook_worker = registry.hook(
             "wq.worker",
@@ -296,6 +301,8 @@ class WorkQueue:
         record.picked_at = self.sim.now
         record.worker = worker_id
         epoch = record.epoch
+        if self.tp_sojourn.enabled:
+            self.tp_sojourn.fire(self.sim.now - record.submitted_at, record.index)
         observing = self.tp_dequeue.enabled or self.tp_complete.enabled
         if observing:
             picked_at = self.sim.now

@@ -1,0 +1,5 @@
+import sys
+
+from repro.qos.cli import main
+
+sys.exit(main())

@@ -1,0 +1,173 @@
+"""Retry budget and circuit breaker for the GPU-side retry path.
+
+PR 4 gave every blocking caller independent EINTR/EAGAIN retries with
+exponential backoff — exactly the fleet behaviour that amplifies load
+when the CPU kernel is drowning (each retry is a full slot-protocol
+round trip).  Two cooperating guards:
+
+* :class:`RetryBudget` — a ``genesys.retry`` program that vetoes retry
+  grants once the fleet has spent its per-window budget, refilled from
+  the live completion count (``hub.read("syscall.rate")``): when
+  completions dry up, so do retries.
+* :class:`CircuitBreaker` — rides the ``syscall.retry`` (failure) and
+  ``syscall.complete`` (success) tracepoint streams; past a consecutive
+  -failure threshold it opens and the ``qos.invoke`` hook fast-fails
+  new blocking invocations with EBUSY before they are even submitted,
+  letting one probe through per cooldown to test recovery.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.metrics.hub import MetricsHub
+from repro.oskernel.errors import Errno
+from repro.probes.tracepoints import ProbeRegistry
+
+
+class RetryBudget:
+    """Named ``genesys.retry`` program: cap fleet-wide retries per
+    metrics window at ``ratio`` x last window's completions (never
+    below ``floor`` — a quiet system must still be allowed to retry).
+    Only vetoes grants; never turns a deny into a retry.
+    """
+
+    __slots__ = ("hub", "ratio", "floor", "_window_index", "_budget", "denied")
+
+    def __init__(self, hub: MetricsHub, ratio: float = 0.1, floor: int = 4) -> None:
+        if ratio < 0:
+            raise ValueError(f"ratio must be >= 0, got {ratio}")
+        if floor < 0:
+            raise ValueError(f"floor must be >= 0, got {floor}")
+        self.hub = hub
+        self.ratio = float(ratio)
+        self.floor = float(floor)
+        self._window_index = -1
+        self._budget = float(floor)
+        self.denied = 0
+
+    def __call__(self, current: Any, name: str, result: Any, attempt: int) -> Any:
+        if not current:
+            return None
+        index = int(self.hub.now() // self.hub.window_ns)
+        if index != self._window_index:
+            self._window_index = index
+            completed = self.hub.read("syscall.rate", mode="count")
+            self._budget = max(self.floor, self.ratio * completed)
+        if self._budget >= 1.0:
+            self._budget -= 1.0
+            return None
+        self.denied += 1
+        return False
+
+    def __repr__(self) -> str:
+        return f"RetryBudget(ratio={self.ratio}, floor={self.floor:.0f}, denied={self.denied})"
+
+
+class _FailureTap:
+    """Observer on ``syscall.retry``: every fire is a transient failure."""
+
+    __slots__ = ("breaker",)
+
+    def __init__(self, breaker: "CircuitBreaker") -> None:
+        self.breaker = breaker
+
+    def __call__(self, *args: Any) -> None:
+        self.breaker.note_failure()
+
+
+class _SuccessTap:
+    """Observer on ``syscall.complete``: every fire is a success."""
+
+    __slots__ = ("breaker",)
+
+    def __init__(self, breaker: "CircuitBreaker") -> None:
+        self.breaker = breaker
+
+    def __call__(self, *args: Any) -> None:
+        self.breaker.note_success()
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker over the invocation stream.
+
+    Also a ``qos.invoke`` program: while open (and inside the cooldown)
+    it returns ``errno`` so ``DeviceApi`` fast-fails the invocation
+    without a slot-protocol round trip; after each cooldown one probe
+    invocation is admitted, and any completed call closes the breaker.
+    """
+
+    __slots__ = ("registry", "threshold", "cooldown_ns", "errno",
+                 "failures", "state", "opened_at", "opens", "fast_fails",
+                 "_taps")
+
+    def __init__(
+        self,
+        registry: ProbeRegistry,
+        threshold: int = 8,
+        cooldown_ns: float = 200_000.0,
+        errno: int = int(Errno.EBUSY),
+    ) -> None:
+        if threshold < 1:
+            raise ValueError(f"threshold must be >= 1, got {threshold}")
+        if cooldown_ns <= 0:
+            raise ValueError(f"cooldown_ns must be positive, got {cooldown_ns}")
+        self.registry = registry
+        self.threshold = int(threshold)
+        self.cooldown_ns = float(cooldown_ns)
+        self.errno = int(errno)
+        self.failures = 0
+        self.state = "closed"
+        self.opened_at = 0.0
+        self.opens = 0
+        self.fast_fails = 0
+        self._taps: tuple = ()
+
+    def note_failure(self) -> None:
+        self.failures += 1
+        if self.state == "closed" and self.failures >= self.threshold:
+            self.state = "open"
+            self.opened_at = self.registry.now()
+            self.opens += 1
+
+    def note_success(self) -> None:
+        self.failures = 0
+        if self.state == "open":
+            self.state = "closed"
+
+    def install(self, registry: ProbeRegistry) -> "CircuitBreaker":
+        failure_tap = _FailureTap(self)
+        success_tap = _SuccessTap(self)
+        registry.attach("syscall.retry", failure_tap)
+        registry.attach("syscall.complete", success_tap)
+        registry.attach_policy("qos.invoke", self)
+        self._taps = (failure_tap, success_tap)
+        return self
+
+    def remove(self, registry: ProbeRegistry) -> None:
+        if self._taps:
+            failure_tap, success_tap = self._taps
+            registry.get("syscall.retry").detach(failure_tap)
+            registry.get("syscall.complete").detach(success_tap)
+            self._taps = ()
+        registry.get_hook("qos.invoke").detach(self)
+
+    # -- the qos.invoke program -------------------------------------------
+
+    def __call__(self, current: Any, name: str) -> Any:
+        if self.state != "open":
+            return current
+        now = self.registry.now()
+        if now - self.opened_at >= self.cooldown_ns:
+            # Half-open probe: admit this one; restart the cooldown so
+            # at most one probe passes per cooldown until one succeeds.
+            self.opened_at = now
+            return current
+        self.fast_fails += 1
+        return self.errno
+
+    def __repr__(self) -> str:
+        return (
+            f"CircuitBreaker({self.state}, failures={self.failures}/"
+            f"{self.threshold}, opens={self.opens}, fast_fails={self.fast_fails})"
+        )

@@ -1,0 +1,103 @@
+"""``python -m repro.qos`` — plan | demo.
+
+``plan`` prints the default serving overload-control plan (or one
+adjusted by flags) as JSON — the same document embedded in
+``BENCH_overload.json``.  ``demo`` runs one offered-load point twice on
+the same warm machine — bare, then with the plan installed — and prints
+the goodput/latency comparison plus the QoS controller's counters; it
+is the single-point sibling of ``python -m repro.serving overload``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.qos",
+        description="Overload control plans and a one-point degradation demo.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    plan_parser = sub.add_parser(
+        "plan", help="print the default serving QoS plan as JSON"
+    )
+    _add_shared_args(plan_parser)
+    plan_parser.set_defaults(fn=_cmd_plan)
+
+    demo_parser = sub.add_parser(
+        "demo", help="one overload point, bare vs QoS plan, side by side"
+    )
+    _add_shared_args(demo_parser)
+    demo_parser.add_argument(
+        "--rps", type=int, default=0,
+        help="offered RPS (0 = 2x the workload's knee)",
+    )
+    demo_parser.set_defaults(fn=_cmd_demo)
+    return parser
+
+
+def _add_shared_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--workload", choices=("memcached", "udp-echo"),
+                        default="memcached")
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--sojourn-budget-us", type=float, default=None,
+                        help="receive-queue sojourn budget (default: timeout/2)")
+    parser.add_argument("--no-brownout", action="store_true",
+                        help="disable the brownout controller")
+
+
+def _plan_from(args: argparse.Namespace):
+    from repro.serving.sweep import ServingConfig, default_overload_plan
+
+    config = ServingConfig(workload=args.workload, seed=args.seed)
+    plan = default_overload_plan(config)
+    if args.sojourn_budget_us is not None:
+        plan = plan.scaled(sojourn_budget_ns=args.sojourn_budget_us * 1e3)
+    if args.no_brownout:
+        plan = plan.scaled(brownout=False)
+    return config, plan
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    _config, plan = _plan_from(args)
+    print(json.dumps(plan.as_dict(), sort_keys=True, indent=2))
+    return 0
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    from repro.serving import sweep as sweep_mod
+
+    config, plan = _plan_from(args)
+    rps = args.rps or 2 * sweep_mod.default_knee(config)
+    bare = sweep_mod._overload_point_job(config, rps)
+    qos = sweep_mod._overload_point_job(config, rps, plan=plan)
+    print(f"{config.workload} @ {rps} RPS (offered):")
+    for label, point in (("bare", bare), ("qos", qos)):
+        latency = point["latency_ns"]
+        lifecycle = point["lifecycle"]
+        print(
+            f"  {label:>4}: goodput {point['achieved_rps']:>9.0f} RPS "
+            f"(completion {point['completion']:.3f}), "
+            f"p99 {latency['p99'] / 1e3:.1f} us, "
+            f"late {lifecycle['late']}, timeout {lifecycle['timeout']}, "
+            f"rejected {lifecycle.get('rejected', 0)}"
+        )
+    summary = qos.get("qos", {})
+    if summary:
+        print(f"  controller: {json.dumps(summary, sort_keys=True)}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -61,6 +61,7 @@ SNAPSHOT_ZONES = DETERMINISM_ZONES + (
     "metrics",
     "probes",
     "faults",
+    "qos",
     "sanitizers",
     "tracing",
     "workloads",

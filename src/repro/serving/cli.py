@@ -17,8 +17,12 @@ from typing import List, Optional
 from repro.serving import report as report_mod
 from repro.serving.arrivals import ArrivalSpec
 from repro.serving.sweep import (
+    DEFAULT_MULTIPLIERS,
     ServingConfig,
     default_grid,
+    default_knee,
+    default_overload_plan,
+    overload_curve,
     run_point,
     sweep,
 )
@@ -115,6 +119,34 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_overload(args: argparse.Namespace) -> int:
+    config = _config_from(args)
+    plan = default_overload_plan(config)
+    if args.sojourn_budget_us is not None:
+        plan = plan.scaled(sojourn_budget_ns=args.sojourn_budget_us * 1e3)
+    if args.no_brownout:
+        plan = plan.scaled(brownout=False)
+    doc = overload_curve(
+        config,
+        plan=plan,
+        knee_rps=args.knee or default_knee(config),
+        multipliers=args.multipliers,
+        workers=args.workers,
+    )
+    print(report_mod.render_overload(doc))
+    with open(args.out, "w") as fh:
+        fh.write(report_mod.to_json(doc))
+    print(f"wrote {args.out}")
+    if args.check:
+        problems = report_mod.check_overload(doc)
+        if problems:
+            for problem in problems:
+                print(f"OVERLOAD: {problem}", file=sys.stderr)
+            return 1
+        print("overload gate ok")
+    return 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     with open(args.path) as fh:
         doc = json.load(fh)
@@ -159,6 +191,29 @@ def main(argv: Optional[List[str]] = None) -> int:
                               help="farm sweep points over N processes")
     sweep_parser.add_argument("--out", default="BENCH_serving.json")
     sweep_parser.set_defaults(fn=_cmd_sweep)
+
+    over_parser = sub.add_parser(
+        "overload",
+        help="offered-vs-goodput through 2-3x the knee, baseline vs QoS",
+    )
+    _add_config_args(over_parser)
+    over_parser.add_argument("--knee", type=int, default=0,
+                             help="knee RPS (0 = workload preset)")
+    over_parser.add_argument("--multipliers", type=float, nargs="*",
+                             default=list(DEFAULT_MULTIPLIERS),
+                             help="offered-load multiples of the knee")
+    over_parser.add_argument("--sojourn-budget-us", type=float, default=None,
+                             help="override the plan's receive-queue sojourn "
+                                  "budget (default: timeout/2)")
+    over_parser.add_argument("--no-brownout", action="store_true",
+                             help="disable the brownout controller in the plan")
+    over_parser.add_argument("--workers", type=int, default=1,
+                             help="farm points over N processes")
+    over_parser.add_argument("--out", default="BENCH_overload.json")
+    over_parser.add_argument("--check", action="store_true",
+                             help="exit non-zero unless the no-collapse "
+                                  "goodput gate holds")
+    over_parser.set_defaults(fn=_cmd_overload)
 
     report_parser = sub.add_parser("report", help="render / validate a trajectory")
     report_parser.add_argument("path")

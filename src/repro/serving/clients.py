@@ -27,8 +27,10 @@ from repro.workloads.base import DeterministicRandom
 #: Serving wire framing (kept in sync with repro.workloads.memcachedwl):
 #: request  = b"Q" + reqid(8B big-endian) + body
 #: reply    = b"R" + reqid(8B big-endian) + value   (echo: request bytes)
+#: reject   = b"E" + reqid(8B big-endian) + errno(1B)   (QoS fast-fail)
 REQID_BYTES = 8
 HDR_BYTES = 1 + REQID_BYTES
+REJECT_MARKER = ord("E")
 
 
 def pack_reqid(reqid: int) -> bytes:
@@ -73,7 +75,8 @@ class ZipfKeys:
 class RequestRecord:
     """Lifecycle of one open-loop request."""
 
-    __slots__ = ("reqid", "client", "key", "sched_ns", "payload", "sent_ns", "reply_ns")
+    __slots__ = ("reqid", "client", "key", "sched_ns", "payload", "sent_ns",
+                 "reply_ns", "reject_errno")
 
     def __init__(self, reqid: int, client: int, key: Optional[bytes],
                  sched_ns: float, payload: bytes):
@@ -84,6 +87,9 @@ class RequestRecord:
         self.payload = payload
         self.sent_ns: Optional[float] = None  # absolute sim time
         self.reply_ns: Optional[float] = None  # absolute sim time
+        #: Errno from a ``b"E"`` fast-fail frame; a rejected request is a
+        #: deliberate server decision, not a client failure.
+        self.reject_errno: Optional[int] = None
 
     def latency_ns(self) -> Optional[float]:
         if self.reply_ns is None or self.sent_ns is None:
@@ -91,9 +97,13 @@ class RequestRecord:
         return self.reply_ns - self.sent_ns
 
     def status(self, timeout_ns: float) -> str:
+        if self.reject_errno is not None:
+            return "rejected"
         latency = self.latency_ns()
         if latency is None:
             return "timeout"
+        # A reply landing exactly at the deadline still counts: the SLO
+        # contract is "within timeout_ns", inclusive.
         return "completed" if latency <= timeout_ns else "late"
 
 
@@ -168,6 +178,7 @@ class ClientFleet:
 
     def counts(self) -> Dict[str, int]:
         counts = {"sent": self.sent, "completed": 0, "late": 0, "timeout": 0,
+                  "rejected": 0,
                   "dup_replies": self.dup_replies,
                   "bad_replies": self.bad_replies}
         for record in self.schedule:
@@ -230,8 +241,21 @@ class ClientFleet:
             if record is None or record.client != ci:
                 self.unmatched_replies += 1
                 continue
-            if record.reply_ns is not None:
+            if record.reply_ns is not None or record.reject_errno is not None:
                 self.dup_replies += 1
+                continue
+            if datagram.payload and datagram.payload[0] == REJECT_MARKER:
+                # QoS fast-fail frame: a deliberate server verdict, so no
+                # payload validation — classify ``rejected``, not ``bad``.
+                record.reject_errno = (
+                    datagram.payload[HDR_BYTES]
+                    if len(datagram.payload) > HDR_BYTES else 0
+                )
+                record.reply_ns = sim.now
+                outstanding -= 1
+                self._remaining -= 1
+                if self._remaining == 0 and not all_done.triggered:
+                    all_done.succeed()
                 continue
             if self.check_reply is not None and not self.check_reply(
                 record, datagram.payload

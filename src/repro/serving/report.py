@@ -17,7 +17,19 @@ SCHEMA = "repro-serving-bench"
 #: window: sent/completed/completion/achieved_rps/latency_ns/drops),
 #: its ``window_ns`` width, and point-level backlog ``drops`` counts
 #: (global + per destination socket).
-SCHEMA_VERSION = 2
+#: v3: ``lifecycle`` gains a ``rejected`` class — requests answered
+#: with a QoS fast-fail frame (``b"E" + reqid + errno``), a deliberate
+#: server verdict distinct from ``timeout``/``late``/``bad``.
+SCHEMA_VERSION = 3
+
+#: The overload-comparison document (``BENCH_overload.json``): the same
+#: offered-load grid run bare and with a QoS plan, plus the goodput
+#: retention gate CI enforces.
+OVERLOAD_SCHEMA = "repro-serving-overload"
+OVERLOAD_VERSION = 1
+#: QoS goodput at ~2x the knee must hold this fraction of QoS goodput
+#: at the knee (the ISSUE's "within 15%" no-collapse criterion).
+OVERLOAD_MIN_RATIO = 0.85
 
 _TOP_KEYS = (
     "schema", "version", "workload", "arrival", "zipf_s", "seed",
@@ -29,7 +41,8 @@ _POINT_KEYS = (
     "window_ns", "windows", "drops",
 )
 _LATENCY_KEYS = ("count", "mean", "p50", "p95", "p99", "max")
-_LIFECYCLE_KEYS = ("sent", "completed", "late", "timeout", "dup_replies")
+_LIFECYCLE_KEYS = ("sent", "completed", "late", "timeout", "rejected",
+                   "dup_replies")
 _WINDOW_KEYS = (
     "t0_ns", "sent", "completed", "completion", "achieved_rps",
     "latency_ns", "drops",
@@ -165,6 +178,134 @@ def check_report(doc: dict) -> List[str]:
     if not isinstance(slo, dict) or "p99_ns" not in slo or "min_completion" not in slo:
         problems.append("slo must be an object with p99_ns and min_completion")
     return problems
+
+
+# -- the overload-comparison document ----------------------------------------
+
+
+def _nearest_point(points: List[dict], rps: float) -> dict:
+    return min(points, key=lambda p: abs(p["rps_target"] - rps))
+
+
+def build_overload(config, plan, knee_rps: int, baseline: List[dict],
+                   qos_points: List[dict],
+                   min_ratio: float = OVERLOAD_MIN_RATIO) -> dict:
+    """Assemble ``BENCH_overload.json``: both curves plus the goodput
+    retention gate (QoS goodput at ~2x knee vs at the knee)."""
+    knee = _nearest_point(qos_points, knee_rps)
+    twox = _nearest_point(qos_points, 2 * knee_rps)
+    base_knee = _nearest_point(baseline, knee_rps)
+    base_twox = _nearest_point(baseline, 2 * knee_rps)
+    knee_goodput = knee["achieved_rps"]
+    twox_goodput = twox["achieved_rps"]
+    ratio = twox_goodput / knee_goodput if knee_goodput > 0 else 0.0
+    base_ratio = (
+        base_twox["achieved_rps"] / base_knee["achieved_rps"]
+        if base_knee["achieved_rps"] > 0 else 0.0
+    )
+    return {
+        "schema": OVERLOAD_SCHEMA,
+        "version": OVERLOAD_VERSION,
+        "workload": config.workload,
+        "config": config.as_dict(),
+        "knee_rps": int(knee_rps),
+        "plan": plan.as_dict(),
+        "baseline": list(baseline),
+        "qos": list(qos_points),
+        "gate": {
+            "knee_goodput_rps": knee_goodput,
+            "goodput_2x_rps": twox_goodput,
+            "ratio": ratio,
+            "baseline_ratio": base_ratio,
+            "min_ratio": min_ratio,
+            "ok": bool(ratio >= min_ratio),
+        },
+    }
+
+
+_OVERLOAD_TOP_KEYS = (
+    "schema", "version", "workload", "config", "knee_rps", "plan",
+    "baseline", "qos", "gate",
+)
+_GATE_KEYS = (
+    "knee_goodput_rps", "goodput_2x_rps", "ratio", "baseline_ratio",
+    "min_ratio", "ok",
+)
+
+
+def check_overload(doc: dict) -> List[str]:
+    """Structural + gate validation of an overload document.  An empty
+    return means well-formed AND the no-collapse gate held."""
+    problems: List[str] = []
+    if not isinstance(doc, dict):
+        return [f"document is {type(doc).__name__}, want object"]
+    if doc.get("schema") != OVERLOAD_SCHEMA:
+        problems.append(
+            f"schema is {doc.get('schema')!r}, want {OVERLOAD_SCHEMA!r}"
+        )
+    for key in _OVERLOAD_TOP_KEYS:
+        if key not in doc:
+            problems.append(f"missing top-level key {key!r}")
+    for curve in ("baseline", "qos"):
+        points = doc.get(curve)
+        if not isinstance(points, list) or not points:
+            problems.append(f"{curve} must be a non-empty list of points")
+            continue
+        for i, point in enumerate(points):
+            if not isinstance(point, dict):
+                problems.append(f"{curve}[{i}] is not an object")
+                continue
+            for key in ("rps_target", "achieved_rps", "completion",
+                        "latency_ns", "lifecycle"):
+                if key not in point:
+                    problems.append(f"{curve}[{i}] missing {key!r}")
+    gate = doc.get("gate")
+    if not isinstance(gate, dict):
+        problems.append("gate must be an object")
+    else:
+        for key in _GATE_KEYS:
+            if key not in gate:
+                problems.append(f"gate missing {key!r}")
+        if not gate.get("ok", False):
+            problems.append(
+                f"goodput gate FAILED: 2x-knee/knee ratio "
+                f"{gate.get('ratio', 0.0):.3f} < min {gate.get('min_ratio')!r}"
+            )
+    return problems
+
+
+def render_overload(doc: dict) -> str:
+    """Side-by-side offered-vs-goodput table, baseline vs QoS."""
+    base = {p["rps_target"]: p for p in doc["baseline"]}
+    qos = {p["rps_target"]: p for p in doc["qos"]}
+    gate = doc["gate"]
+    lines = [
+        f"overload: {doc['workload']}  knee={doc['knee_rps']} RPS  "
+        f"sojourn_budget={doc['plan']['sojourn_budget_ns'] / 1e3:.0f} us  "
+        f"brownout={'on' if doc['plan']['brownout'] else 'off'}",
+        f"{'offered':>8} | {'base good':>10} {'compl':>6} {'p99us':>7} | "
+        f"{'qos good':>10} {'compl':>6} {'p99us':>7} {'rejected':>8}",
+    ]
+    for rps in sorted(set(base) | set(qos)):
+        b, q = base.get(rps), qos.get(rps)
+        row = f"{rps:>8} |"
+        if b is not None:
+            row += (f" {b['achieved_rps']:>10.0f} {b['completion']:>6.3f} "
+                    f"{b['latency_ns']['p99'] / 1e3:>7.1f} |")
+        else:
+            row += f" {'-':>10} {'-':>6} {'-':>7} |"
+        if q is not None:
+            row += (f" {q['achieved_rps']:>10.0f} {q['completion']:>6.3f} "
+                    f"{q['latency_ns']['p99'] / 1e3:>7.1f} "
+                    f"{q['lifecycle'].get('rejected', 0):>8}")
+        lines.append(row)
+    lines.append(
+        f"goodput retention at 2x knee: qos {gate['ratio']:.3f} "
+        f"(baseline {gate['baseline_ratio']:.3f}), "
+        f"gate {'ok' if gate['ok'] else 'FAILED'} "
+        f"(min {gate['min_ratio']:.2f})"
+    )
+    return "\n".join(lines)
 
 
 def render(doc: dict) -> str:

@@ -412,6 +412,105 @@ def sweep(
     return report.build(config, points, probes, max_rps)
 
 
+# -- overload mode (repro.qos evaluation) ------------------------------------
+
+#: Measured SLO knees of the seed stacks (see BENCH_serving.json);
+#: overload curves default to sweeping multiples of these.
+DEFAULT_KNEE = {"memcached": 110_000, "udp-echo": 130_000}
+
+#: Offered-load multipliers for the overload curve: below, at, and
+#: through 2-3x the knee — the regime where the unprotected stack's
+#: goodput collapses.
+DEFAULT_MULTIPLIERS = (0.5, 1.0, 1.5, 2.0, 3.0)
+
+
+def default_knee(config: ServingConfig) -> int:
+    return DEFAULT_KNEE[config.workload]
+
+
+def default_overload_plan(config: ServingConfig):
+    """The serving overload-control plan: CoDel-style sojourn policing
+    on the server's bounded receive queue (stale work is rejected at
+    dequeue instead of served dead) plus the brownout controller capped
+    at level 2 (level 3 would shed the priority-0 serving traffic
+    itself).  No GPU-side deadlines: the server's parked ``recvfrom``
+    loops are legitimately long-lived."""
+    from repro.qos import QosPlan
+
+    return QosPlan(
+        sojourn_budget_ns=config.timeout_ns / 2,
+        brownout=True,
+        brownout_max_level=2,
+        brownout_period_ns=20_000.0,
+        sensor_window_ns=50_000.0,
+        brownout_hi_p99_ns=config.slo_p99_ns,
+        brownout_lo_p99_ns=config.slo_p99_ns / 3,
+    )
+
+
+def _overload_point_job(config: ServingConfig, rps: int, plan=None) -> dict:
+    """Module-level farm job body: one overload point, optionally with a
+    QoS plan installed on the restored machine before load starts."""
+    if _FARM_WARM is None:
+        system, workload = build_target(config)
+    else:
+        restored = snapshot.load(_FARM_WARM)
+        system, workload = restored.system, restored.extra
+    controller = None
+    if plan is not None and plan.active:
+        from repro.qos import install_qos_plan
+
+        controller = install_qos_plan(plan, system)
+    point = run_point_on(system, workload, config, rps)
+    if controller is not None:
+        point["qos"] = controller.summary()
+    return point
+
+
+def overload_curve(
+    config: ServingConfig,
+    plan=None,
+    knee_rps: Optional[int] = None,
+    multipliers: Sequence[float] = DEFAULT_MULTIPLIERS,
+    workers: int = 1,
+) -> dict:
+    """Offered-vs-goodput curves through overload, baseline and QoS
+    side by side in one document (``BENCH_overload.json``).
+
+    Every offered-load point runs twice from the same warm snapshot:
+    once bare (the collapsing baseline) and once with ``plan``
+    installed.  Goodput is ``achieved_rps`` — replies within the
+    client timeout.  The document's ``gate`` compares the QoS curve's
+    goodput at ~2x the knee against its goodput at the knee.
+    """
+    from repro.serving import report
+
+    global _FARM_WARM
+    if plan is None:
+        plan = default_overload_plan(config)
+    if knee_rps is None:
+        knee_rps = default_knee(config)
+    knee_rps = int(knee_rps)
+    if knee_rps <= 0:
+        raise ValueError(f"knee_rps must be positive, got {knee_rps}")
+    grid = sorted({max(1, int(round(knee_rps * m))) for m in multipliers})
+    system, workload = build_target(config)
+    _FARM_WARM = system.checkpoint(extra=workload)
+    try:
+        jobs = []
+        for rps in grid:
+            jobs.append(Job(key=("base", rps), fn=_overload_point_job,
+                            kwargs={"config": config, "rps": rps}))
+            jobs.append(Job(key=("qos", rps), fn=_overload_point_job,
+                            kwargs={"config": config, "rps": rps, "plan": plan}))
+        merged = run_jobs(jobs, workers=workers)
+    finally:
+        _FARM_WARM = None
+    baseline = [result for key, result in merged if key[0] == "base"]
+    qos_points = [result for key, result in merged if key[0] == "qos"]
+    return report.build_overload(config, plan, knee_rps, baseline, qos_points)
+
+
 def default_grid(config: ServingConfig) -> List[int]:
     """A coarse grid bracketing the stacks' measured capacity."""
     if config.workload == "memcached":

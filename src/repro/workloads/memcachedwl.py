@@ -394,7 +394,12 @@ class MemcachedWorkload:
                 shared["obuf"] = system.memsystem.alloc_buffer(reply_bytes)
             rbuf, obuf = shared["rbuf"], shared["obuf"]
             while True:
-                n, src = yield from ctx.sys.recvfrom(fd, rbuf, rbuf.size, **wg_opts)
+                got = yield from ctx.sys.recvfrom(fd, rbuf, rbuf.size, **wg_opts)
+                if not isinstance(got, tuple):
+                    # A shed or reclaimed recvfrom surfaces as a negative
+                    # errno (QoS deadline, watchdog): keep serving.
+                    continue
+                n, src = got
                 msg = bytes(rbuf.data[:n])
                 if msg == SERVE_STOP:
                     return

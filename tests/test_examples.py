@@ -23,6 +23,7 @@ EXAMPLES = [
     "runfarm_demo",
     "serving_demo",
     "metrics_demo",
+    "qos_demo",
 ]
 
 

@@ -101,6 +101,8 @@ def test_genesys_stats_surface_net_counters():
         "packets_dropped": 0,
         "rx_queue_drops": 0,
         "rx_backlog_peak": 0,
+        "drops": {"capacity": 0, "policy": 0, "expired": 0},
+        "policy_rejects": 0,
     }
 
 

@@ -1,0 +1,241 @@
+"""Admission control and sojourn policing on the net ingress path:
+the token bucket, drops-by-reason accounting, fast-fail reject frames,
+CoDel-style head-drop at dequeue, and the dup-on-full-backlog counter
+fix."""
+
+import pytest
+
+from repro.oskernel.errors import Errno
+from repro.oskernel.net import Datagram
+from repro.probes import policy
+from repro.qos import TokenBucketAdmission
+from repro.system import System
+
+
+def _frame(reqid: int, body: bytes = b"payload") -> bytes:
+    """A serving-shaped request frame: b"Q" + 8-byte reqid + body."""
+    return b"Q" + reqid.to_bytes(8, "little") + body
+
+
+def _send(system, sender, dest, payloads):
+    net = system.kernel.net
+
+    def body():
+        for payload in payloads:
+            yield from net.sendto(sender, payload, dest)
+
+    system.sim.run_process(body(), name="send")
+
+
+class _FakeClock:
+    def __init__(self, now=0.0):
+        self._now = now
+
+    def now(self):
+        return self._now
+
+
+class TestTokenBucket:
+    def test_burst_admits_then_polices(self):
+        clock = _FakeClock()
+        bucket = TokenBucketAdmission(clock, rate_rps=1_000.0, burst=2)
+        assert bucket(None, 0, 0, 64) is None
+        assert bucket(None, 0, 0, 64) is None
+        assert bucket(None, 0, 0, 64) == ("reject", int(Errno.EBUSY))
+        assert bucket.policed == 1
+
+    def test_refill_follows_the_clock(self):
+        clock = _FakeClock()
+        # 1e6 rps == one token per 1000 ns.
+        bucket = TokenBucketAdmission(clock, rate_rps=1e6, burst=1)
+        assert bucket(None, 0, 0, 64) is None
+        assert bucket(None, 0, 0, 64) == ("reject", int(Errno.EBUSY))
+        clock._now = 1_000.0
+        assert bucket(None, 0, 0, 64) is None
+
+    def test_drop_mode_and_custom_errno(self):
+        clock = _FakeClock()
+        assert (
+            TokenBucketAdmission(clock, rate_rps=1.0, burst=1, reject=False)(
+                None, 0, 0, 0
+            )
+            is None
+        )
+        bucket = TokenBucketAdmission(
+            clock, rate_rps=1.0, burst=1, reject=False, errno=int(Errno.ETIME)
+        )
+        bucket(None, 0, 0, 0)
+        assert bucket(None, 0, 0, 0) == "drop"
+
+    def test_rejects_bad_parameters(self):
+        clock = _FakeClock()
+        with pytest.raises(ValueError):
+            TokenBucketAdmission(clock, rate_rps=0.0)
+        with pytest.raises(ValueError):
+            TokenBucketAdmission(clock, rate_rps=1.0, burst=0)
+
+
+class TestAdmissionIntegration:
+    def _serving_pair(self, system, rx_capacity=64):
+        net = system.kernel.net
+        server = net.socket()
+        net.bind(server, 5000)
+        server.rx_capacity = rx_capacity
+        client = net.socket()
+        return server, client
+
+    def test_policed_datagrams_answered_with_reject_frames(self):
+        system = System()
+        net = system.kernel.net
+        server, client = self._serving_pair(system)
+        system.probes.attach_policy(
+            "net.admit", TokenBucketAdmission(system.probes, rate_rps=1.0, burst=2)
+        )
+        _send(system, client, ("localhost", 5000), [_frame(i) for i in range(5)])
+        # Two admitted on the burst, three policed.
+        assert len(server.queue) == 2
+        stats = net.stats()
+        assert stats["drops"]["policy"] == 3
+        assert stats["drops"]["capacity"] == 0
+        assert stats["policy_rejects"] == 3
+        # The client (bound by its first sendto) got the fast-fail frames.
+        assert len(client.queue) == 3
+        reject = client.queue._items[0].payload
+        assert reject[0] == ord("E")
+        assert int.from_bytes(reject[1:9], "little") == 2  # first policed reqid
+        assert reject[9] == int(Errno.EBUSY)
+
+    def test_admission_skips_unbounded_sockets(self):
+        """Only bounded (serving) backlogs are policed: client reply
+        sockets and the shutdown path stay exempt."""
+        system = System()
+        server, client = self._serving_pair(system, rx_capacity=None)
+        system.probes.attach_policy(
+            "net.admit", TokenBucketAdmission(system.probes, rate_rps=1.0, burst=1)
+        )
+        _send(system, client, ("localhost", 5000), [_frame(i) for i in range(4)])
+        assert len(server.queue) == 4
+        assert system.kernel.net.stats()["drops"]["policy"] == 0
+
+    def test_no_reply_socket_means_silent_drop(self):
+        """A policed datagram whose source is no longer bound gets no
+        reject frame — the drop stays silent, without error."""
+        system = System()
+        net = system.kernel.net
+        server, _ = self._serving_pair(system)
+        stale = Datagram(_frame(3), ("localhost", 9999))  # source never bound
+        net._reject(server, stale, int(Errno.EBUSY))
+        assert net.stats()["policy_rejects"] == 0
+
+    def test_sojourn_budget_head_drops_stale_datagrams(self):
+        system = System()
+        net = system.kernel.net
+        server, client = self._serving_pair(system)
+        net.sojourn_budget_ns = 1_000.0
+        got = []
+
+        def scenario():
+            yield from net.sendto(client, _frame(7), ("localhost", 5000))
+            yield 5_000.0  # the first datagram goes stale in the backlog
+            yield from net.sendto(client, _frame(8), ("localhost", 5000))
+            payload, source = yield from net.recvfrom(server, 4096)
+            got.append(payload)
+
+        system.sim.run_process(scenario(), name="sojourn")
+        # recvfrom head-dropped the stale datagram and returned the fresh one.
+        assert got == [_frame(8)]
+        stats = net.stats()
+        assert stats["drops"]["expired"] == 1
+        assert stats["policy_rejects"] == 1
+        reject = client.queue._items[0].payload
+        assert reject[0] == ord("E")
+        assert int.from_bytes(reject[1:9], "little") == 7
+        assert reject[9] == int(Errno.ETIME)
+
+    def test_sojourn_budget_ignores_unbounded_sockets(self):
+        system = System()
+        net = system.kernel.net
+        server, client = self._serving_pair(system, rx_capacity=None)
+        net.sojourn_budget_ns = 1_000.0
+        got = []
+
+        def scenario():
+            yield from net.sendto(client, _frame(1), ("localhost", 5000))
+            yield 5_000.0
+            payload, _ = yield from net.recvfrom(server, 4096)
+            got.append(payload)
+
+        system.sim.run_process(scenario(), name="sojourn-unbounded")
+        assert got == [_frame(1)]
+        assert net.stats()["drops"]["expired"] == 0
+
+    def test_sojourn_tracepoint_reports_queue_wait(self):
+        system = System()
+        net = system.kernel.net
+        server, client = self._serving_pair(system)
+        waits = []
+        system.probes.attach(
+            "net.sojourn", lambda sojourn_ns, sock_id: waits.append(sojourn_ns)
+        )
+
+        def scenario():
+            yield from net.sendto(client, _frame(1), ("localhost", 5000))
+            yield 2_500.0
+            yield from net.recvfrom(server, 4096)
+
+        system.sim.run_process(scenario(), name="sojourn-tp")
+        assert len(waits) == 1
+        assert waits[0] == pytest.approx(2_500.0)
+
+
+class TestDropAccounting:
+    def test_capacity_drops_reported_by_reason(self):
+        system = System()
+        net = system.kernel.net
+        server = net.socket()
+        net.bind(server, 5000)
+        server.rx_capacity = 2
+        _send(system, net.socket(), ("localhost", 5000), [_frame(i) for i in range(5)])
+        stats = net.stats()
+        assert stats["drops"] == {"capacity": 3, "policy": 0, "expired": 0}
+        assert stats["rx_queue_drops"] == 3
+        assert stats["packets_dropped"] == 3
+
+    def test_dup_on_full_backlog_counts_link_drop_once(self):
+        """A fault-injected duplicate that lands on a full backlog was
+        never counted in packets_sent, so losing it must not inflate
+        packets_dropped — only the per-reason capacity counter."""
+        system = System()
+        net = system.kernel.net
+        server = net.socket()
+        net.bind(server, 5000)
+        server.rx_capacity = 0  # everything drops at capacity
+        system.probes.attach_policy("fault.net", policy.fixed("dup"))
+        _send(system, net.socket(), ("localhost", 5000), [_frame(0)])
+        stats = net.stats()
+        # Primary + duplicate both hit the full queue...
+        assert stats["drops"]["capacity"] == 2
+        assert server.rx_dropped == 2
+        # ...but only the primary counts as a link-level packet drop.
+        assert stats["packets_sent"] == 1
+        assert stats["packets_dropped"] == 1
+
+    def test_reject_frames_do_not_recurse_into_policing(self):
+        """The synthesised E-frame bypasses the admission gate even when
+        the client's own socket is bounded, so a reject can never spawn
+        another reject."""
+        system = System()
+        net = system.kernel.net
+        server = net.socket()
+        net.bind(server, 5000)
+        server.rx_capacity = 64
+        client = net.socket()
+        client.rx_capacity = 64  # bounded reply socket: still exempt
+        system.probes.attach_policy(
+            "net.admit", TokenBucketAdmission(system.probes, rate_rps=1.0, burst=1)
+        )
+        _send(system, client, ("localhost", 5000), [_frame(0), _frame(1)])
+        stats = net.stats()
+        assert stats["drops"]["policy"] == 1
+        assert stats["policy_rejects"] == 1
+        assert len(client.queue) == 1

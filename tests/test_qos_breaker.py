@@ -1,0 +1,173 @@
+"""Retry budget and circuit breaker: fleet-wide retry capping refilled
+from the completion rate, consecutive-failure tripping with half-open
+probes, and the device-side fast-fail that never mints an invocation."""
+
+import pytest
+
+from repro.faults.chaos import check_invariants
+from repro.machine import small_machine
+from repro.metrics.hub import MetricsHub
+from repro.oskernel.errors import Errno
+from repro.probes import policy
+from repro.qos import CircuitBreaker, RetryBudget
+from repro.system import System
+
+
+class _FakeHub:
+    """Just enough MetricsHub surface for RetryBudget: a clock and a
+    settable completion count."""
+
+    def __init__(self, window_ns=50_000.0):
+        self.window_ns = window_ns
+        self._now = 0.0
+        self.completed = 0.0
+
+    def now(self):
+        return self._now
+
+    def read(self, name, window=1, mode=None):
+        assert name == "syscall.rate" and mode == "count"
+        return self.completed
+
+
+class _FakeClock:
+    def __init__(self):
+        self._now = 0.0
+
+    def now(self):
+        return self._now
+
+
+class TestRetryBudget:
+    def test_floor_grants_then_denies(self):
+        hub = _FakeHub()
+        budget = RetryBudget(hub, ratio=0.0, floor=2)
+        # A grant passes through as None (keep current); a veto is False.
+        assert budget(True, "pread", -int(Errno.EINTR), 1) is None
+        assert budget(True, "pread", -int(Errno.EINTR), 1) is None
+        assert budget(True, "pread", -int(Errno.EINTR), 1) is False
+        assert budget.denied == 1
+
+    def test_never_turns_deny_into_grant(self):
+        budget = RetryBudget(_FakeHub(), ratio=1.0, floor=100)
+        assert budget(False, "pread", -int(Errno.EINTR), 1) is None
+        assert budget(None, "pread", -int(Errno.EINTR), 1) is None
+        assert budget.denied == 0
+
+    def test_budget_refills_from_completion_rate(self):
+        hub = _FakeHub(window_ns=1_000.0)
+        hub.completed = 40.0
+        budget = RetryBudget(hub, ratio=0.1, floor=1)
+        # Window 0: budget = max(1, 0.1 * 40) = 4.
+        grants = [budget(True, "x", -4, 1) for _ in range(6)]
+        assert grants.count(None) == 4
+        assert budget.denied == 2
+        # Next window: completions dried up, budget falls to the floor.
+        hub._now = 1_500.0
+        hub.completed = 0.0
+        assert budget(True, "x", -4, 1) is None
+        assert budget(True, "x", -4, 1) is False
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            RetryBudget(_FakeHub(), ratio=-0.1)
+        with pytest.raises(ValueError):
+            RetryBudget(_FakeHub(), floor=-1)
+
+    def test_caps_injected_retry_storm(self):
+        """Integration: every getrusage dispatch fails with EINTR; the
+        budget lets floor retries through, then the caller keeps the
+        errno instead of hammering the slot protocol forever."""
+        system = System(config=small_machine())
+        hub = MetricsHub(window_ns=1e9).install(system.probes)
+        budget = RetryBudget(hub, ratio=0.0, floor=1)
+        system.probes.attach_policy("genesys.retry", budget)
+        system.probes.attach_policy("fault.errno", policy.fixed(Errno.EINTR))
+        results = {}
+
+        def kern(ctx):
+            results[ctx.global_id] = yield from ctx.sys.getrusage()
+
+        system.run_kernel(kern, 1, 1, name="retry-storm")
+        assert results[0] == -int(Errno.EINTR)
+        assert system.genesys.syscall_retries == 1  # the one granted retry
+        assert budget.denied == 1
+        assert check_invariants(system) == []
+
+
+class TestCircuitBreaker:
+    def test_opens_after_consecutive_failures(self):
+        clock = _FakeClock()
+        breaker = CircuitBreaker(clock, threshold=3, cooldown_ns=1_000.0)
+        for _ in range(2):
+            breaker.note_failure()
+        assert breaker.state == "closed"
+        breaker.note_failure()
+        assert breaker.state == "open"
+        assert breaker.opens == 1
+
+    def test_success_resets_the_failure_streak(self):
+        breaker = CircuitBreaker(_FakeClock(), threshold=3)
+        breaker.note_failure()
+        breaker.note_failure()
+        breaker.note_success()
+        breaker.note_failure()
+        assert breaker.state == "closed"
+
+    def test_open_fast_fails_then_half_open_probes(self):
+        clock = _FakeClock()
+        breaker = CircuitBreaker(clock, threshold=1, cooldown_ns=1_000.0)
+        breaker.note_failure()
+        assert breaker.state == "open"
+        # Inside the cooldown: every call fast-fails with the errno.
+        assert breaker(None, "pread") == int(Errno.EBUSY)
+        assert breaker.fast_fails == 1
+        # Past the cooldown: exactly one probe admitted per cooldown.
+        clock._now = 1_000.0
+        assert breaker(None, "pread") is None
+        assert breaker(None, "pread") == int(Errno.EBUSY)
+        # The probe completing closes the breaker again.
+        breaker.note_success()
+        assert breaker.state == "closed"
+        assert breaker(None, "pread") is None
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(_FakeClock(), threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(_FakeClock(), cooldown_ns=0.0)
+
+    def test_install_taps_the_tracepoint_streams(self):
+        system = System(config=small_machine())
+        breaker = CircuitBreaker(system.probes, threshold=2).install(system.probes)
+        retry_tp = system.probes.get("syscall.retry")
+        retry_tp.fire("pread", -4, 1, 1)
+        retry_tp.fire("pread", -4, 2, 2)
+        assert breaker.state == "open"
+        system.probes.get("syscall.complete").fire("pread", 0, 100.0, 3, True)
+        assert breaker.state == "closed"
+        breaker.remove(system.probes)
+        assert system.probes.get_hook("qos.invoke").active is False
+
+    def test_tripped_breaker_fast_fails_before_minting(self):
+        """Device-side integration: with the breaker open, a blocking
+        invocation returns -EBUSY without a slot round trip — no
+        invocation id is minted and the CPU kernel never runs."""
+        system = System(config=small_machine())
+        breaker = CircuitBreaker(
+            system.probes, threshold=1, cooldown_ns=1e12
+        ).install(system.probes)
+        breaker.note_failure()
+        assert breaker.state == "open"
+        results = {}
+
+        def kern(ctx):
+            results[ctx.global_id] = yield from ctx.sys.getrusage()
+
+        system.run_kernel(kern, 1, 1, name="fast-fail")
+        assert results[0] == -int(Errno.EBUSY)
+        assert system.genesys.qos_fast_fails == 1
+        stats = system.genesys.stats()
+        assert sum(stats["invocations"].values()) == 0
+        assert stats["syscalls_completed"] == 0
+        assert check_invariants(system) == []

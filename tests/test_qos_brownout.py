@@ -1,0 +1,191 @@
+"""The brownout controller: staged escalation on windowed sensors,
+hysteresis, the level-2 polling handoff, the sysfs enable gate, and
+clean unwind on stop."""
+
+import pytest
+
+from repro.machine import small_machine
+from repro.qos.brownout import BrownoutController, _ScaleWindow
+from repro.system import System
+
+
+class _FakeHub:
+    """Settable sensors standing in for a MetricsHub."""
+
+    def __init__(self):
+        self.p99 = 0.0
+        self.depth = 0.0
+
+    def read(self, name, window=1, mode=None):
+        if name == "syscall.latency":
+            assert mode == "p99"
+            return self.p99
+        assert name == "wq.depth"
+        return self.depth
+
+
+def make_controller(**overrides):
+    system = System(config=small_machine())
+    hub = _FakeHub()
+    kwargs = dict(
+        period_ns=1_000.0,
+        hi_p99_ns=100.0,
+        lo_p99_ns=10.0,
+        hi_depth=8.0,
+        lo_depth=2.0,
+        max_level=3,
+    )
+    kwargs.update(overrides)
+    controller = BrownoutController(system, hub, **kwargs)
+    controller._running = True  # drive _tick directly, no timer needed
+    return system, hub, controller
+
+
+class TestValidation:
+    def test_rejects_bad_parameters(self):
+        system = System(config=small_machine())
+        hub = _FakeHub()
+        with pytest.raises(ValueError):
+            BrownoutController(system, hub, period_ns=0.0)
+        with pytest.raises(ValueError):
+            BrownoutController(system, hub, max_level=4)
+        with pytest.raises(ValueError):
+            BrownoutController(system, hub, hi_p99_ns=10.0, lo_p99_ns=20.0)
+        with pytest.raises(ValueError):
+            BrownoutController(system, hub, hi_depth=1.0, lo_depth=2.0)
+
+
+class TestEscalation:
+    def test_walks_the_ladder_one_level_per_tick(self):
+        system, hub, controller = make_controller()
+        hub.p99 = 500.0  # above hi
+        controller._tick()
+        assert controller.level == 1
+        assert system.probes.get_hook("coalesce.window").active
+        controller._tick()
+        assert controller.level == 2
+        assert system.probes.get_hook("irq.mode").active
+        controller._tick()
+        assert controller.level == 3
+        assert system.genesys.qos_priority_floor == 1
+        assert controller.summary()["peak_level"] == 3
+        assert controller.escalations == 3
+
+    def test_either_sensor_escalates(self):
+        system, hub, controller = make_controller()
+        hub.depth = 100.0  # p99 fine, queue deep
+        controller._tick()
+        assert controller.level == 1
+
+    def test_max_level_caps_the_ladder(self):
+        system, hub, controller = make_controller(max_level=1)
+        hub.p99 = 500.0
+        for _ in range(4):
+            controller._tick()
+        assert controller.level == 1
+        assert not system.probes.get_hook("irq.mode").active
+
+    def test_level_one_scales_the_coalescing_window(self):
+        system, hub, controller = make_controller(window_scale=0.5)
+        hub.p99 = 500.0
+        controller._tick()
+        hook = system.probes.get_hook("coalesce.window")
+        assert hook.decide(8_000.0) == 4_000.0
+
+    def test_scale_window_tolerates_non_numeric_default(self):
+        assert _ScaleWindow(0.5)(None) is None
+
+
+class TestHysteresis:
+    def test_in_band_pressure_holds_the_level(self):
+        system, hub, controller = make_controller()
+        hub.p99 = 500.0
+        controller._tick()
+        assert controller.level == 1
+        # Between the low and high water marks: no move either way.
+        hub.p99 = 50.0
+        for _ in range(3):
+            controller._tick()
+        assert controller.level == 1
+        assert controller.deescalations == 0
+
+    def test_deescalates_only_when_both_sensors_clear(self):
+        system, hub, controller = make_controller(max_level=2)
+        hub.p99 = 500.0
+        hub.depth = 100.0
+        controller._tick()
+        controller._tick()
+        assert controller.level == 2
+        hub.p99 = 0.0  # latency recovered, queue still deep
+        controller._tick()
+        assert controller.level == 2
+        hub.depth = 0.0  # both clear: walk back down
+        controller._tick()
+        assert controller.level == 1
+        controller._tick()
+        assert controller.level == 0
+        assert controller.deescalations == 2
+
+
+class TestLevelTwoExit:
+    def test_clears_suppression_and_detaches_poll_program(self):
+        system, hub, controller = make_controller()
+        hub.p99 = 500.0
+        controller._tick()
+        controller._tick()
+        assert controller.level == 2
+        # Interrupts absorbed while polling leave suppression marks.
+        system.genesys._scan_suppressed.add(0)
+        hub.p99 = 0.0
+        controller._tick()
+        assert controller.level == 1
+        assert not system.probes.get_hook("irq.mode").active
+        assert system.genesys._scan_suppressed == set()
+
+
+class TestGateAndStop:
+    def test_sysfs_gate_forces_full_unwind(self):
+        system, hub, controller = make_controller()
+        hub.p99 = 500.0
+        for _ in range(3):
+            controller._tick()
+        assert controller.level == 3
+        system.genesys.qos_brownout_enabled = 0
+        controller._tick()  # pressure unchanged, but the gate is off
+        assert controller.level == 0
+        assert system.genesys.qos_priority_floor == 0
+        assert not system.probes.get_hook("coalesce.window").active
+        assert not system.probes.get_hook("irq.mode").active
+
+    def test_stop_unwinds_every_level(self):
+        system, hub, controller = make_controller()
+        hub.p99 = 500.0
+        for _ in range(3):
+            controller._tick()
+        controller.stop()
+        assert controller.level == 0
+        assert system.genesys.qos_priority_floor == 0
+        assert not system.probes.get_hook("coalesce.window").active
+        assert not system.probes.get_hook("irq.mode").active
+        # A stale armed timer firing after stop is a no-op.
+        ticks = controller.ticks
+        controller._tick()
+        assert controller.ticks == ticks
+
+
+class TestTimerIntegration:
+    def test_weak_tick_rides_the_simulation(self):
+        """start() arms a weak periodic tick that fires while real work
+        keeps the simulation alive, and never holds it open itself."""
+        system = System(config=small_machine())
+        hub = _FakeHub()
+        controller = BrownoutController(system, hub, period_ns=500.0).start()
+
+        def kern(ctx):
+            for _ in range(4):
+                yield from ctx.sys.getrusage()
+
+        system.run_kernel(kern, 1, 1, name="brownout-tick")
+        assert controller.ticks > 0
+        assert controller.level == 0  # sensors quiet throughout
+        controller.stop()
