@@ -32,6 +32,8 @@ from dataclasses import dataclass, field
 from typing import Dict, Generator, List, Optional
 
 from repro.core.syscall_area import SlotState
+from repro.gpu.hierarchy import WorkItemCtx
+from repro.probes.tracepoints import ProbeRegistry
 from repro.faults.plan import FaultInjector, FaultPlan, install_plan
 from repro.oskernel.workqueue import DrainTimeout
 from repro.system import System
@@ -226,7 +228,7 @@ def _run_fig2(system: System) -> Dict[str, object]:
     bufs = [system.memsystem.alloc_buffer(file_bytes) for _ in range(n_items)]
     reads: Dict[int, int] = {}
 
-    def kern(ctx) -> Generator:
+    def kern(ctx: WorkItemCtx) -> Generator:
         idx = ctx.global_id
         fd = yield from ctx.sys.open(f"/tmp/chaos/f{idx:02d}")
         if fd >= 0:
@@ -446,7 +448,7 @@ FAULT_STREAM_PREFIXES = ("fault.", "recover.")
 FAULT_STREAM_NAMES = ("slot.protocol_error", "syscall.retry")
 
 
-def record_fault_stream(registry) -> List[tuple]:
+def record_fault_stream(registry: ProbeRegistry) -> List[tuple]:
     """Attach observers that append ``(t_ns, tracepoint, args)`` for
     every fault/recovery tracepoint; returns the (live) event list.
     Two runs with the same plan seed must produce equal streams — the
@@ -455,7 +457,7 @@ def record_fault_stream(registry) -> List[tuple]:
     for name in registry.tracepoints:
         if name.startswith(FAULT_STREAM_PREFIXES) or name in FAULT_STREAM_NAMES:
 
-            def observer(*args, _name=name):
+            def observer(*args: object, _name: str = name) -> None:
                 events.append((registry.now(), _name, args))
 
             registry.attach(name, observer)

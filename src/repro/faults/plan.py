@@ -32,7 +32,7 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Callable, List, Optional, Tuple
 
 from repro.oskernel.errors import Errno
 from repro.probes import policy as policy_mod
@@ -149,6 +149,40 @@ class FaultPlan:
     def active_classes(self) -> List[str]:
         return [field for field in _RATE_FIELDS if getattr(self, field) > 0.0]
 
+    def as_dict(self) -> dict:
+        """A JSON-serialisable description of this plan.
+
+        Round-trips through :meth:`from_dict`; used by
+        ``repro.modelcheck`` schedule certificates so a counterexample
+        found under a fault plan replays with the *exact* plan embedded
+        in the certificate rather than a profile name that may drift.
+        """
+        doc = dataclasses.asdict(self)
+        for field in _RANGE_FIELDS:
+            doc[field] = list(doc[field])
+        doc["errnos"] = list(doc["errnos"])
+        return doc
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "FaultPlan":
+        """Rebuild a plan from :meth:`as_dict` output.
+
+        Unknown keys are rejected so a certificate written by a newer
+        schema fails loudly instead of silently dropping a fault class.
+        """
+        known = {field.name for field in dataclasses.fields(cls)}
+        unknown = sorted(set(doc) - known)
+        if unknown:
+            raise ValueError(f"unknown FaultPlan fields: {', '.join(unknown)}")
+        kwargs = dict(doc)
+        for field in _RANGE_FIELDS:
+            if field in kwargs:
+                lo, hi = kwargs[field]
+                kwargs[field] = (float(lo), float(hi))
+        if "errnos" in kwargs:
+            kwargs["errnos"] = tuple(int(e) for e in kwargs["errnos"])
+        return cls(**kwargs)
+
     def describe(self) -> str:
         parts = [f"seed={self.seed}"]
         parts += [
@@ -172,7 +206,9 @@ class _WidenRetry:
         self.extra = extra
         self.max_retries = max_retries
 
-    def __call__(self, current, name, result, attempt):
+    def __call__(
+        self, current: object, name: str, result: object, attempt: int
+    ) -> Optional[bool]:
         if current:
             return None
         if (
@@ -195,7 +231,7 @@ class FaultInjector:
     ``decisions`` counts every consultation.
     """
 
-    def __init__(self, plan: FaultPlan, registry: ProbeRegistry):
+    def __init__(self, plan: FaultPlan, registry: ProbeRegistry) -> None:
         self.plan = plan
         self.registry = registry
         self.rng = DeterministicRandom(plan.seed)
@@ -210,7 +246,7 @@ class FaultInjector:
     def _budget_left(self) -> bool:
         return self.plan.max_faults is None or self.injected < self.plan.max_faults
 
-    def _note(self, action: str):
+    def _note(self, action: str) -> None:
         self.injected += 1
         self.by_action[action] = self.by_action.get(action, 0) + 1
 
@@ -220,7 +256,7 @@ class FaultInjector:
 
     # -- decision programs -------------------------------------------------
 
-    def _irq(self, current, payload):
+    def _irq(self, current: object, payload: object) -> object:
         self.decisions += 1
         if current is not None or not self._budget_left():
             return None
@@ -234,7 +270,7 @@ class FaultInjector:
             return ("delay", self._uniform_ns(plan.irq_delay_ns))
         return None
 
-    def _worker(self, current, worker_id, task_index):
+    def _worker(self, current: object, worker_id: int, task_index: int) -> object:
         self.decisions += 1
         if current is not None or not self._budget_left():
             return None
@@ -248,7 +284,7 @@ class FaultInjector:
             return ("stall", self._uniform_ns(plan.worker_stall_ns))
         return None
 
-    def _slot(self, current, hw_id, slot_index, name):
+    def _slot(self, current: object, hw_id: int, slot_index: int, name: str) -> object:
         self.decisions += 1
         if current is not None or not self._budget_left():
             return None
@@ -262,7 +298,7 @@ class FaultInjector:
             return "corrupt"
         return None
 
-    def _errno(self, current, name, invocation_id):
+    def _errno(self, current: object, name: str, invocation_id: object) -> Optional[int]:
         self.decisions += 1
         if current is not None or not self._budget_left():
             return None
@@ -273,7 +309,7 @@ class FaultInjector:
             return int(errno)
         return None
 
-    def _net(self, current, dest, nbytes):
+    def _net(self, current: object, dest: object, nbytes: int) -> object:
         self.decisions += 1
         if current is not None or not self._budget_left():
             return None
@@ -292,7 +328,7 @@ class FaultInjector:
 
     # -- wiring ------------------------------------------------------------
 
-    def _attach(self, hook_name: str, program) -> None:
+    def _attach(self, hook_name: str, program: Callable) -> None:
         self.registry.attach_policy(hook_name, program)
         self._attached.append((hook_name, program))
 

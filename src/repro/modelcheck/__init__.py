@@ -1,0 +1,72 @@
+"""GMC: schedule-space model checking of the slot protocol.
+
+The reproduction's runs are deterministic: the event heap breaks
+same-timestamp ties FIFO, so every test sees exactly one interleaving
+of the paper's lock-free slot protocol.  GSan (:mod:`repro.sanitizers`)
+checks that one interleaving deeply — but a bug that needs the *other*
+order of two tied events is invisible to any single run.  GMC closes
+that gap with stateless model checking in the Verisoft/CHESS style:
+
+* the engine's :attr:`~repro.sim.engine.Simulator.tie_break` hook makes
+  the schedule controllable without perturbing the default (FIFO stays
+  bit-identical across the whole experiment suite);
+* the explorer (:mod:`repro.modelcheck.explore`) enumerates tie-break
+  choices up to depth/preemption bounds, pruning commuting reorderings
+  with sleep-set DPOR driven by GSan's own happens-before scope
+  attribution;
+* GSan plus the chaos invariants act as the oracle on every branch,
+  composing with seeded :class:`~repro.faults.plan.FaultPlan`\\ s so
+  schedules and fault points are explored jointly;
+* violating schedules shrink to minimal, replayable certificates
+  (:mod:`repro.modelcheck.certificate`), and frontiers shard over
+  :func:`repro.runfarm.run_frontier` worker processes without changing
+  the set of schedules visited.
+
+CLI: ``python -m repro.modelcheck {explore,corpus,replay,scenarios}``.
+"""
+
+from repro.modelcheck.certificate import (
+    densify,
+    load_certificate,
+    make_certificate,
+    replay,
+    save_certificate,
+    shrink,
+)
+from repro.modelcheck.corpus import ORDERING_BUGS, OrderingBug, check_corpus
+from repro.modelcheck.explore import Bounds, ExploreReport, explore, run_schedule
+from repro.modelcheck.scenarios import build_scenario, scenario_names
+from repro.modelcheck.schedule import (
+    EffectCollector,
+    FifoSchedulePlan,
+    FifoTieBreak,
+    GuidedTieBreak,
+    ScheduleError,
+    SleepBlocked,
+    independent,
+)
+
+__all__ = [
+    "Bounds",
+    "EffectCollector",
+    "ExploreReport",
+    "FifoSchedulePlan",
+    "FifoTieBreak",
+    "GuidedTieBreak",
+    "ORDERING_BUGS",
+    "OrderingBug",
+    "ScheduleError",
+    "SleepBlocked",
+    "build_scenario",
+    "check_corpus",
+    "densify",
+    "explore",
+    "independent",
+    "load_certificate",
+    "make_certificate",
+    "replay",
+    "run_schedule",
+    "save_certificate",
+    "scenario_names",
+    "shrink",
+]

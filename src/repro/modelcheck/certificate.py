@@ -1,0 +1,186 @@
+"""Replayable schedule certificates: serialize, shrink, replay.
+
+A certificate is the complete recipe for reproducing one explored
+schedule: the scenario name, the exact fault plan (embedded as a
+document, not a profile reference, so replays survive profile
+retuning), and the densified choice map.  Replay needs no sleep-set
+machinery — a choice map plus FIFO continuation is fully
+deterministic — so a certificate written by a 4-worker farmed
+exploration replays byte-identically in a bare interpreter:
+
+    python -m repro.modelcheck replay gmc_certs/lost-doorbell.json
+
+Violating schedules are *shrunk* before certification: greedy
+1-minimal reduction, repeatedly dropping any single choice whose
+removal still reproduces one of the target rules.  The corpus bugs
+shrink to a single choice — the one reordered pop that is the bug.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.modelcheck.explore import run_schedule
+
+__all__ = [
+    "CERT_FORMAT",
+    "CERT_VERSION",
+    "densify",
+    "load_certificate",
+    "make_certificate",
+    "render_certificate",
+    "replay",
+    "save_certificate",
+    "shrink",
+]
+
+CERT_FORMAT = "gmc-certificate"
+CERT_VERSION = 1
+
+Choices = Tuple[Tuple[int, int], ...]
+
+
+def densify(choices: Iterable[Sequence[int]]) -> Choices:
+    """Canonical form: drop rank-0 (FIFO) entries, sort by decision."""
+    return tuple(
+        sorted((int(d), int(r)) for d, r in choices if int(r) != 0)
+    )
+
+
+def make_certificate(
+    scenario: str,
+    choices: Iterable[Sequence[int]],
+    plan: Optional[dict] = None,
+    profile: Optional[str] = None,
+    seed: int = 0,
+    rules: Optional[Dict[str, int]] = None,
+    violations: Optional[List[str]] = None,
+) -> dict:
+    """Build a certificate document (plain dict, JSON-serializable).
+
+    ``plan`` is the exact fault-plan document
+    (:meth:`~repro.faults.plan.FaultPlan.as_dict`); ``profile`` is
+    recorded as provenance only — replay uses the embedded plan.
+    """
+    return {
+        "format": CERT_FORMAT,
+        "version": CERT_VERSION,
+        "scenario": scenario,
+        "choices": [list(pair) for pair in densify(choices)],
+        "plan": plan,
+        "profile": profile,
+        "seed": seed,
+        "rules": dict(rules or {}),
+        "violations": list(violations or []),
+    }
+
+
+def save_certificate(cert: dict, path: str) -> None:
+    with open(path, "w") as fh:
+        json.dump(cert, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def load_certificate(path: str) -> dict:
+    with open(path) as fh:
+        cert = json.load(fh)
+    if not isinstance(cert, dict) or cert.get("format") != CERT_FORMAT:
+        raise ValueError(f"{path}: not a {CERT_FORMAT} document")
+    if cert.get("version") != CERT_VERSION:
+        raise ValueError(
+            f"{path}: certificate version {cert.get('version')}, "
+            f"this build reads v{CERT_VERSION}"
+        )
+    return cert
+
+
+def replay(cert: Union[dict, str]) -> dict:
+    """Re-run a certificate's schedule; returns the run-result dict.
+
+    Accepts a loaded document or a path.  The replay is guided purely
+    by the choice map (no sleep sets), so two replays of one
+    certificate produce byte-identical tracepoint streams — the
+    determinism contract ``tests/test_modelcheck_determinism.py``
+    asserts.
+    """
+    if isinstance(cert, str):
+        cert = load_certificate(cert)
+    return run_schedule(
+        cert["scenario"],
+        densify(cert["choices"]),
+        plan=cert.get("plan"),
+        seed=int(cert.get("seed", 0)),
+    )
+
+
+def shrink(
+    scenario: str,
+    choices: Iterable[Sequence[int]],
+    must_hit: Iterable[str],
+    plan: Optional[dict] = None,
+    seed: int = 0,
+) -> Tuple[Choices, int]:
+    """Greedy 1-minimal shrink: drop choices while the bug reproduces.
+
+    A candidate reproduces when a fresh guided run still hits at least
+    one of the ``must_hit`` GSan rules.  Returns the shrunk choice map
+    (1-minimal: removing any single remaining choice loses the bug)
+    and the number of reduction runs spent.
+    """
+    target = set(must_hit)
+    if not target:
+        raise ValueError("shrink needs at least one rule to preserve")
+
+    def reproduces(candidate: Choices) -> bool:
+        result = run_schedule(scenario, candidate, plan=plan, seed=seed)
+        return not result["blocked"] and any(
+            rule in result["rules"] for rule in target
+        )
+
+    current = densify(choices)
+    if not reproduces(current):
+        raise ValueError(
+            f"schedule does not reproduce any of {sorted(target)} on "
+            f"{scenario!r}; nothing to shrink"
+        )
+    attempts = 1
+    changed = True
+    while changed:
+        changed = False
+        for index in range(len(current)):
+            trial = current[:index] + current[index + 1 :]
+            attempts += 1
+            if reproduces(trial):
+                current = trial
+                changed = True
+                break
+    return current, attempts
+
+
+def render_certificate(cert: dict, result: Optional[dict] = None) -> str:
+    """Human-readable certificate summary (+ replay verdict if given)."""
+    lines = [
+        f"GMC certificate: scenario {cert['scenario']!r}",
+        f"  choices: "
+        + (
+            ", ".join(f"decision {d} -> rank {r}" for d, r in cert["choices"])
+            or "(pure FIFO)"
+        ),
+    ]
+    if cert.get("profile") or cert.get("plan"):
+        lines.append(
+            f"  fault plan: embedded"
+            + (f" (from profile {cert['profile']!r})" if cert.get("profile") else "")
+        )
+    if cert.get("rules"):
+        lines.append(
+            "  rules: "
+            + ", ".join(f"{k}={v}" for k, v in sorted(cert["rules"].items()))
+        )
+    if result is not None:
+        lines.append("")
+        lines.append("replayed verdict:")
+        for violation in result["violations"]:
+            lines.append(violation)
+    return "\n".join(lines)

@@ -1,0 +1,211 @@
+"""``python -m repro.modelcheck`` — the GPU model checker (GMC).
+
+Subcommands:
+
+``explore``
+    Walk the schedule space of one scenario within depth/preemption/
+    budget bounds (optionally under a fault profile, so schedules and
+    fault points are explored jointly).  Prints a coverage summary;
+    exits 1 and writes certificates if any schedule violates.
+
+``corpus``
+    The seeded ordering-bug gate: for each bug, assert the FIFO
+    schedule is GSan-clean, that exploration finds the expected rule,
+    and that the shrunk certificate replays.  Writes the minimal
+    certificates; exits 1 if any bug is missed.
+
+``replay``
+    Re-run a certificate and print the violation timeline.
+
+Examples::
+
+    python -m repro.modelcheck explore --scenario fig2 --profile fig2 \\
+        --schedules 64 --depth 8 --workers 4
+    python -m repro.modelcheck corpus --cert-dir gmc_certs
+    python -m repro.modelcheck replay gmc_certs/lost-doorbell.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import List, Optional
+
+from repro.modelcheck.certificate import (
+    make_certificate,
+    render_certificate,
+    replay,
+    save_certificate,
+    shrink,
+)
+from repro.modelcheck.corpus import check_corpus
+from repro.modelcheck.explore import Bounds, explore
+from repro.modelcheck.scenarios import resolve_plan, scenario_names
+
+
+def _write_cert(cert: dict, cert_dir: str, stem: str) -> str:
+    os.makedirs(cert_dir, exist_ok=True)
+    path = os.path.join(cert_dir, f"{stem}.json")
+    save_certificate(cert, path)
+    return path
+
+
+def _cmd_explore(args: argparse.Namespace) -> int:
+    plan = resolve_plan(profile=args.profile, seed=args.seed)
+    plan_doc = plan.as_dict() if plan is not None else None
+    bounds = Bounds(
+        max_schedules=args.schedules,
+        max_depth=args.depth,
+        max_preemptions=args.preemptions,
+        dpor=not args.no_dpor,
+    )
+    report = explore(
+        args.scenario,
+        plan=plan_doc,
+        seed=args.seed,
+        bounds=bounds,
+        workers=args.workers,
+    )
+    if args.json:
+        print(json.dumps(report.as_dict(), indent=2))
+    else:
+        print(
+            f"gmc explore {args.scenario}: {report.schedules} schedule(s) "
+            f"visited, {report.pruned} pruned"
+            f"{' (budget truncated)' if report.truncated else ''}, "
+            f"{len(report.violating)} violating"
+        )
+    if not report.violating:
+        return 0
+    for number, finding in enumerate(report.violating):
+        cert = make_certificate(
+            args.scenario,
+            finding["choices"],
+            plan=plan_doc,
+            profile=args.profile,
+            seed=args.seed,
+            rules=finding["rules"],
+            violations=finding["violations"],
+        )
+        if args.shrink:
+            rules = set(finding["rules"])
+            if rules:
+                shrunk, _attempts = shrink(
+                    args.scenario, finding["choices"], rules,
+                    plan=plan_doc, seed=args.seed,
+                )
+                cert["choices"] = [list(pair) for pair in shrunk]
+        path = _write_cert(cert, args.cert_dir, f"{args.scenario}-{number}")
+        if not args.json:
+            print(f"violating schedule -> {path}")
+            for line in finding["violations"]:
+                print(line)
+    return 1
+
+
+def _cmd_corpus(args: argparse.Namespace) -> int:
+    reports = check_corpus(workers=args.workers)
+    ok = True
+    for report in reports:
+        passed = (
+            report["fifo_clean"]
+            and report["found"]
+            and report.get("replay_hits_rule", False)
+        )
+        ok = ok and passed
+        if report["certificate"] is not None:
+            path = _write_cert(
+                report["certificate"], args.cert_dir, report["bug"]
+            )
+            report["certificate_path"] = path
+        if not args.json:
+            status = "ok  " if passed else "FAIL"
+            print(
+                f"{status} {report['bug']}: fifo_clean={report['fifo_clean']} "
+                f"found={report['found']} rule={report['expected_rule']} "
+                f"schedules={report['schedules']} pruned={report['pruned']}"
+            )
+            if report["certificate"] is not None:
+                choices = report["certificate"]["choices"]
+                print(
+                    f"     minimal certificate ({len(choices)} choice(s)) "
+                    f"-> {report.get('certificate_path', '(unwritten)')}"
+                )
+    if args.json:
+        print(json.dumps({"bugs": reports, "ok": ok}, indent=2))
+    elif ok:
+        print(
+            f"gmc corpus: {len(reports)}/{len(reports)} seeded ordering bugs "
+            f"found with minimal replayable certificates"
+        )
+    return 0 if ok else 1
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    from repro.modelcheck.certificate import load_certificate
+
+    cert = load_certificate(args.certificate)
+    result = replay(cert)
+    if args.json:
+        out = dict(result)
+        out["choices"] = [list(pair) for pair in out["choices"]]
+        print(json.dumps(out, indent=2, default=str))
+    else:
+        print(render_certificate(cert, result))
+    return 0 if not result["ok"] else 2  # 0: bug reproduced; 2: clean run
+
+
+def _cmd_scenarios(args: argparse.Namespace) -> int:
+    for name in scenario_names():
+        print(name)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.modelcheck",
+        description="GMC: schedule-space model checking of the slot protocol",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    exp = sub.add_parser("explore", help="walk a scenario's schedule space")
+    exp.add_argument("--scenario", required=True)
+    exp.add_argument("--profile", default=None, help="chaos fault profile name")
+    exp.add_argument("--seed", type=int, default=0)
+    exp.add_argument("--schedules", type=int, default=256, help="run budget")
+    exp.add_argument("--depth", type=int, default=12, help="branchable decisions")
+    exp.add_argument("--preemptions", type=int, default=4)
+    exp.add_argument("--workers", type=int, default=1)
+    exp.add_argument("--no-dpor", action="store_true", help="disable pruning")
+    exp.add_argument("--no-shrink", dest="shrink", action="store_false")
+    exp.add_argument("--cert-dir", default="gmc_certs")
+    exp.add_argument("--json", action="store_true")
+    exp.set_defaults(fn=_cmd_explore)
+
+    corpus = sub.add_parser(
+        "corpus", help="prove every seeded ordering bug is found"
+    )
+    corpus.add_argument("--workers", type=int, default=1)
+    corpus.add_argument("--cert-dir", default="gmc_certs")
+    corpus.add_argument("--json", action="store_true")
+    corpus.set_defaults(fn=_cmd_corpus)
+
+    rep = sub.add_parser("replay", help="re-run a schedule certificate")
+    rep.add_argument("certificate", help="path to a gmc-certificate JSON")
+    rep.add_argument("--json", action="store_true")
+    rep.set_defaults(fn=_cmd_replay)
+
+    scen = sub.add_parser("scenarios", help="list model-checkable scenarios")
+    scen.set_defaults(fn=_cmd_scenarios)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -42,6 +42,7 @@ __all__ = [
     "default_workers",
     "merge_reports",
     "run_chaos_matrix",
+    "run_frontier",
     "run_jobs",
     "shard",
 ]
@@ -117,6 +118,75 @@ def run_jobs(
         finally:
             gc.unfreeze()
     return sorted(merged, key=lambda pair: pair[0])
+
+
+# -- frontier exploration --------------------------------------------------
+
+
+def run_frontier(
+    seeds: Sequence,
+    run_item: Callable[..., Any],
+    expand: Callable[[Any, Any], Sequence],
+    workers: int = 1,
+    max_items: int = 0,
+    key: Callable[[Any], tuple] = None,  # type: ignore[assignment]
+    mp_context: str = "fork",
+) -> Tuple[List[Tuple[Any, Any]], bool]:
+    """Deterministic wave-parallel exploration of a growing frontier.
+
+    Starts from ``seeds`` and repeatedly: sorts the pending items by
+    ``key``, farms ``run_item(item=...)`` over them with
+    :func:`run_jobs`, then calls ``expand(item, result)`` *in the
+    parent* to produce new items.  An item whose key was already run
+    (or is already pending) is dropped, so the set of items visited is
+    a pure function of ``(seeds, run_item, expand, max_items)`` — the
+    worker count only changes wall-clock time, never the frontier
+    (asserted by ``tests/test_runfarm.py``).
+
+    ``run_item`` must be a module-level (picklable) callable taking the
+    item as its ``item`` keyword; ``expand`` runs in the parent and may
+    close over driver state.  ``max_items > 0`` bounds the total number
+    of items run; a wave is truncated *after sorting*, so the budgeted
+    prefix is deterministic too.  Returns ``(results, truncated)`` with
+    ``results`` sorted by key.
+    """
+    if key is None:
+        key = lambda item: item  # noqa: E731 - identity default
+    pending: List[Any] = list(seeds)
+    seen = {key(item) for item in pending}
+    if len(seen) != len(pending):
+        raise ValueError("seed items must have unique keys")
+    results: List[Tuple[tuple, Any, Any]] = []
+    truncated = False
+    while pending:
+        pending.sort(key=key)
+        if max_items > 0:
+            budget = max_items - len(results)
+            if budget <= 0:
+                truncated = True
+                break
+            if len(pending) > budget:
+                truncated = True
+                pending = pending[:budget]
+        wave = pending
+        pending = []
+        jobs = [
+            Job(key=key(item), fn=run_item, kwargs={"item": item})
+            for item in wave
+        ]
+        merged = run_jobs(jobs, workers=workers, mp_context=mp_context)
+        by_key = dict(merged)
+        for item in wave:
+            result = by_key[key(item)]
+            results.append((key(item), item, result))
+            for child in expand(item, result):
+                child_key = key(child)
+                if child_key in seen:
+                    continue
+                seen.add(child_key)
+                pending.append(child)
+    results.sort(key=lambda row: row[0])
+    return [(item, result) for _key, item, result in results], truncated
 
 
 # -- chaos-matrix farming --------------------------------------------------

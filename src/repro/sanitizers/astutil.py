@@ -41,7 +41,7 @@ class TracepointDecl:
         attr: Optional[str],
         path: str,
         lineno: int,
-    ):
+    ) -> None:
         self.name = name
         #: Number of declared fire arguments; ``None`` when the args
         #: tuple is not a literal (arity then matches anything).
@@ -71,7 +71,7 @@ class FireSite:
         has_star: bool,
         path: str,
         lineno: int,
-    ):
+    ) -> None:
         #: The resolved attribute key of the receiver (``tp_submit``),
         #: or ``None`` when the receiver could not be resolved.
         self.key = key
@@ -194,7 +194,7 @@ class RegistryCheckProblem:
 
     __slots__ = ("site", "reason")
 
-    def __init__(self, site: FireSite, reason: str):
+    def __init__(self, site: FireSite, reason: str) -> None:
         self.site = site
         self.reason = reason
 

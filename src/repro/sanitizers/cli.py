@@ -31,7 +31,7 @@ import argparse
 import json
 import sys
 from pathlib import Path
-from typing import List
+from typing import List, Optional
 
 from repro.probes.tracepoints import clear_global_plan, install_global_plan
 from repro.sanitizers.corpus import distinct_rules, run_corpus
@@ -191,7 +191,7 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def main(argv=None) -> int:
+def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     return args.fn(args)
 

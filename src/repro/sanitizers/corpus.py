@@ -17,15 +17,16 @@ without the watchdog, produce diagnosable violations.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, Generator, List, Optional
 
 from repro.core.invocation import Granularity, WaitMode
-from repro.core.syscall_area import SlotState, SlotStateError, SyscallArea
+from repro.core.syscall_area import Slot, SlotState, SlotStateError, SyscallArea
 from repro.faults import FaultPlan, install_plan
 from repro.machine import small_machine
 from repro.memory.system import MemorySystem
 from repro.oskernel.process import OsProcess
 from repro.oskernel.workqueue import DrainTimeout
+from repro.gpu.hierarchy import WorkItemCtx
 from repro.probes.tracepoints import ProbeRegistry
 from repro.sanitizers.gsan import GSan
 from repro.sim.engine import SimulationError, Simulator
@@ -43,7 +44,7 @@ class CorpusEntry:
         description: str,
         expected_rule: str,
         run: Callable[[], GSan],
-    ):
+    ) -> None:
         self.name = name
         self.description = description
         self.expected_rule = expected_rule
@@ -59,7 +60,7 @@ class CorpusResult:
 
     __slots__ = ("entry", "sanitizer", "detected")
 
-    def __init__(self, entry: CorpusEntry, sanitizer: GSan):
+    def __init__(self, entry: CorpusEntry, sanitizer: GSan) -> None:
         self.entry = entry
         self.sanitizer = sanitizer
         self.detected = entry.expected_rule in sanitizer.rules_hit()
@@ -93,7 +94,7 @@ def _run_faulted(plan: FaultPlan, wait: WaitMode = WaitMode.HALT_RESUME) -> GSan
     install_plan(plan, system.probes)
     system.drain_timeout_ns = 2_000_000.0
 
-    def kern(ctx):
+    def kern(ctx: WorkItemCtx) -> Generator:
         yield from ctx.sys.getrusage(
             granularity=Granularity.WORK_ITEM, blocking=True, wait=wait
         )
@@ -142,7 +143,7 @@ def _slot_fixture() -> tuple:
     return sim, area, sanitizer
 
 
-def _drive_to_processing(sim: Simulator, area: SyscallArea):
+def _drive_to_processing(sim: Simulator, area: SyscallArea) -> Slot:
     from repro.core.invocation import SyscallRequest
 
     slot = area.slot_for(0, 0)

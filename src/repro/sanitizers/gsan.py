@@ -101,6 +101,74 @@ _EVENT_AGENT = {
     "slot.protocol_error": None,  # actor argument
 }
 
+#: Pure-telemetry gauges: events that sample a derived quantity (queue
+#: depth, occupancy, sojourn time) and carry no protocol identity.  No
+#: GSan rule or end-state invariant reads them, so in the model
+#: checker's independence relation a step firing only these (plus
+#: scoped events) still has a fully-known footprint — they must not
+#: degrade a step to "unknown".
+SCOPE_NEUTRAL = frozenset(
+    {
+        "fs.pagecache.resident",
+        "gpu.lanes.runnable",
+        "gpu.wf.occupancy",
+        "net.backlog",
+        "net.sojourn",
+        "slot.occupancy",
+        "syscall.inflight",
+        "wq.busy",
+        "wq.depth",
+        "wq.sojourn",
+    }
+)
+
+
+def event_scopes(name: str, values: Tuple[Any, ...]) -> List[str]:
+    """The protocol scopes one tracepoint event touches.
+
+    This is GSan's timeline attribution (``slot:N`` / ``inv:N`` /
+    ``task:N`` / ``scan:N`` / ``wf:N``), exported at module level so
+    :mod:`repro.modelcheck` can derive its independence relation from
+    exactly the same footprint GSan uses for happens-before tracking:
+    two scheduler steps whose fired events touch disjoint scope sets
+    commute, and exploring both orders is redundant.
+    """
+    scopes: List[str] = []
+    if name in ("slot.transition", "slot.protocol_error"):
+        scopes.append(f"slot:{values[0]}")
+    elif name == "fault.slot.injected":
+        scopes.append(f"slot:{values[1]}")
+    elif name == "recover.slot_reclaim":
+        scopes.append(f"slot:{values[2]}")
+        scopes.append(f"inv:{values[0]}")
+    elif name in (
+        "syscall.claim", "syscall.submit", "syscall.irq",
+        "syscall.dispatch", "syscall.complete", "syscall.resume",
+        "syscall.retry",
+    ):
+        index = 1 if name == "syscall.submit" else (
+            2 if name == "syscall.dispatch" else (
+                3 if name == "syscall.complete" else 0
+            )
+        )
+        if values[index] is not None:
+            scopes.append(f"inv:{values[index]}")
+    elif name == "wq.enqueue":
+        scopes.append(f"task:{values[1]}")
+    elif name == "wq.dequeue":
+        scopes.append(f"task:{values[1]}")
+    elif name == "wq.complete":
+        scopes.append(f"task:{values[2]}")
+    elif name in ("recover.requeue", "recover.forfeit"):
+        scopes.append(f"task:{values[0]}")
+    elif name == "fault.worker.injected":
+        scopes.append(f"task:{values[2]}")
+    elif name in ("scan.enqueue", "scan.start"):
+        scopes.append(f"scan:{values[0]}")
+    elif name in ("wavefront.halt", "wavefront.resume"):
+        scopes.append(f"wf:{values[0]}")
+    return scopes
+
 
 class Violation:
     """One detected protocol/ordering violation, with its evidence."""
@@ -115,7 +183,7 @@ class Violation:
         message: str,
         timeline: List[Tuple[float, str, str, str, bool]],
         clocks: Dict[str, int],
-    ):
+    ) -> None:
         self.rule = rule
         self.scope = scope
         self.t = t
@@ -150,7 +218,10 @@ class Violation:
 class _SlotTrack:
     """Per-slot shadow state: the walk GSan believes the slot is on."""
 
-    __slots__ = ("state", "generation", "release_ready", "release_finished")
+    __slots__ = (
+        "state", "generation", "release_ready", "release_finished",
+        "last_actor", "last_op", "reclaim_raced",
+    )
 
     def __init__(self) -> None:
         self.state = "free"
@@ -159,6 +230,15 @@ class _SlotTrack:
         #: protocol; ``None`` means "not currently published".
         self.release_ready: Optional[Dict[str, int]] = None
         self.release_finished: Optional[Dict[str, int]] = None
+        #: Who last drove (or last tried to drive) this slot, and with
+        #: what operation — named by the end-of-run leak audit so a slot
+        #: wedged by a watchdog-reclaim race reports the racing agent,
+        #: not just the state it wedged in.
+        self.last_actor: Optional[str] = None
+        self.last_op: Optional[str] = None
+        #: Whether a watchdog reclaim ever raced a protocol error on
+        #: this slot (either order) — the wedged-reclaim-race signature.
+        self.reclaim_raced = False
 
 
 class _InvocationTrack:
@@ -225,7 +305,7 @@ class GSan:
     name = "gsan"
     tracepoint = None
 
-    def __init__(self, max_timeline: int = 64):
+    def __init__(self, max_timeline: int = 64) -> None:
         self.registry: Optional[ProbeRegistry] = None
         self.max_timeline = max_timeline
         self.clocks: Dict[str, int] = {agent: 0 for agent in AGENTS}
@@ -308,41 +388,39 @@ class GSan:
 
     @staticmethod
     def _scopes(name: str, values: Tuple) -> List[str]:
-        scopes: List[str] = []
-        if name in ("slot.transition", "slot.protocol_error"):
-            scopes.append(f"slot:{values[0]}")
-        elif name == "fault.slot.injected":
-            scopes.append(f"slot:{values[1]}")
-        elif name == "recover.slot_reclaim":
-            scopes.append(f"slot:{values[2]}")
-            scopes.append(f"inv:{values[0]}")
-        elif name in (
-            "syscall.claim", "syscall.submit", "syscall.irq",
-            "syscall.dispatch", "syscall.complete", "syscall.resume",
-            "syscall.retry",
-        ):
-            index = 1 if name == "syscall.submit" else (
-                2 if name == "syscall.dispatch" else (
-                    3 if name == "syscall.complete" else 0
-                )
-            )
-            if values[index] is not None:
-                scopes.append(f"inv:{values[index]}")
-        elif name == "wq.enqueue":
-            scopes.append(f"task:{values[1]}")
-        elif name == "wq.dequeue":
-            scopes.append(f"task:{values[1]}")
-        elif name == "wq.complete":
-            scopes.append(f"task:{values[2]}")
-        elif name in ("recover.requeue", "recover.forfeit"):
-            scopes.append(f"task:{values[0]}")
-        elif name == "fault.worker.injected":
-            scopes.append(f"task:{values[2]}")
-        elif name in ("scan.enqueue", "scan.start"):
-            scopes.append(f"scan:{values[0]}")
-        elif name in ("wavefront.halt", "wavefront.resume"):
-            scopes.append(f"wf:{values[0]}")
-        return scopes
+        return event_scopes(name, values)
+
+    # -- vector clocks -----------------------------------------------------
+
+    def clock_snapshot(self) -> Dict[str, int]:
+        """A copy of the per-agent vector clocks right now.
+
+        Public for :mod:`repro.modelcheck`, whose independence relation
+        and schedule digests are derived from the same happens-before
+        state GSan maintains.
+        """
+        return dict(self.clocks)
+
+    def rearm(self) -> "GSan":
+        """Reset all shadow state, keeping the attached observers.
+
+        The model checker re-runs one scenario once per explored
+        schedule; re-arming between branches lets a sanitizer that is
+        already wired into a registry (or a restored checkpoint) start
+        the next branch with virgin clocks, tracks, and violations.
+        """
+        self.clocks = {agent: 0 for agent in AGENTS}
+        self.events = 0
+        self.violations = []
+        self.defended_races = 0
+        self._timelines = {}
+        self._slots = {}
+        self._invocations = {}
+        self._tasks = {}
+        self._scans = {}
+        self._halted = {}
+        self._finished = False
+        return self
 
     def _flag(self, rule: str, scope: str, t: float, message: str) -> None:
         """Record one violation, marking the newest scoped event."""
@@ -399,6 +477,8 @@ class GSan:
                 f"{'/'.join(owners)}, but {actor} drove it",
             )
         track.state = new
+        track.last_actor = actor
+        track.last_op = f"{old}->{new}"
         # Release/acquire bookkeeping.
         if new == "populating" and old == "free":
             track.generation += 1
@@ -431,6 +511,14 @@ class GSan:
 
     def _on_protocol_error(self, t: float, agent: str, values: Tuple) -> None:
         slot_index, op, actor, detail = values
+        track = self._slot(slot_index)
+        track.last_actor = actor
+        track.last_op = op
+        if op == "reclaim" or (op == "finish" and "stale finish" in detail):
+            # Either half of the watchdog/finish collision: a reclaim
+            # refused because the worker got there first, or a finish
+            # refused because the watchdog did.
+            track.reclaim_raced = True
         if op == "finish" and "stale finish" in detail:
             # The defended watchdog race: the stale write was *refused*,
             # which is the protocol working, not breaking.
@@ -524,6 +612,10 @@ class GSan:
 
     def _on_reclaim(self, t: float, agent: str, values: Tuple) -> None:
         invocation_id, name, slot_index, was_state = values
+        track = self._slot(slot_index)
+        track.last_actor = "watchdog"
+        track.last_op = "reclaim"
+        track.reclaim_raced = True
         self._complete_once(t, invocation_id, name, "reclaim", "watchdog")
 
     def _on_resume(self, t: float, agent: str, values: Tuple) -> None:
@@ -701,10 +793,20 @@ class GSan:
                 )
         for slot_index, track in self._slots.items():
             if track.state != "free":
+                holder = (
+                    f"last driven by {track.last_actor} ({track.last_op})"
+                    if track.last_actor is not None
+                    else "never driven by any agent"
+                )
+                raced = (
+                    "; a watchdog reclaim raced this slot"
+                    if track.reclaim_raced
+                    else ""
+                )
                 self._flag(
                     "slot-leak", f"slot:{slot_index}", t,
                     f"slot {slot_index} ended the run in state "
-                    f"{track.state}, not FREE",
+                    f"{track.state}, not FREE — {holder}{raced}",
                 )
         for task_index, track in self._tasks.items():
             if track.state != "done":
@@ -769,7 +871,7 @@ class GSanPlan:
     spaces are independent).
     """
 
-    def __init__(self, max_timeline: int = 64):
+    def __init__(self, max_timeline: int = 64) -> None:
         self.max_timeline = max_timeline
         self.sanitizers: List[GSan] = []
 

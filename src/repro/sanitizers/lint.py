@@ -30,6 +30,12 @@ SLOT002    a class in the checkpointed object graph stores a closure
            pickle, so the first ``System.checkpoint()`` reaching that
            object fails (use a plain callable class, see
            ``repro.probes.StreamRecorder``)
+SCHED001   ``heapq`` mutation of, or direct assignment to, a
+           simulator ``_heap`` outside ``sim/engine.py`` — such events
+           bypass the ``Simulator.tie_break`` hook, so the model
+           checker cannot reorder them and a schedule certificate
+           replayed over them diverges; schedule through the engine's
+           public API instead
 =========  ==============================================================
 
 Determinism rules (DET*) apply only inside the *deterministic zones*
@@ -96,7 +102,7 @@ class LintFinding:
 
     __slots__ = ("code", "path", "line", "message")
 
-    def __init__(self, code: str, path: str, line: int, message: str):
+    def __init__(self, code: str, path: str, line: int, message: str) -> None:
         self.code = code
         self.path = path
         self.line = line
@@ -147,7 +153,7 @@ def _is_set_expression(node: ast.AST) -> bool:
 class _Zone:
     """Per-file determinism-rule visitor state."""
 
-    def __init__(self, path: str, findings: List[LintFinding]):
+    def __init__(self, path: str, findings: List[LintFinding]) -> None:
         self.path = path
         self.findings = findings
 
@@ -398,6 +404,76 @@ def _check_picklable(tree: ast.Module, zone: _Zone) -> None:
                         )
 
 
+#: ``heapq`` functions that mutate their first (heap) argument.
+_HEAPQ_MUTATORS = {
+    "heappush", "heappop", "heapify", "heapreplace", "heappushpop",
+}
+
+#: List methods that mutate the receiver in place.
+_LIST_MUTATORS = {
+    "append", "pop", "clear", "extend", "insert", "remove", "sort",
+}
+
+
+def _is_heap_attribute(node: ast.AST) -> bool:
+    return isinstance(node, ast.Attribute) and node.attr == "_heap"
+
+
+def _check_sched(tree: ast.Module, zone: _Zone) -> None:
+    """SCHED001: event-heap mutation that bypasses the tie-break hook.
+
+    Every pop the engine performs routes through
+    ``Simulator.tie_break`` when a model-checking policy is installed;
+    code that pushes into or rewrites ``<sim>._heap`` directly creates
+    or destroys events the policy never sees, so explored schedules
+    and replayed certificates silently diverge from real runs.  Only
+    ``sim/engine.py`` itself may touch the heap (the checker is not run
+    over it); anything else must go through ``call_later``/``call_at``/
+    ``process`` — or carry an explicit pragma when mutating a *quiesced*
+    heap, as snapshot restore does.
+    """
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if _is_heap_attribute(target):
+                    zone.flag(
+                        "SCHED001", node,
+                        "direct assignment to a simulator _heap bypasses "
+                        "the tie-break hook; schedule via the engine API",
+                    )
+        elif isinstance(node, ast.AugAssign):
+            if _is_heap_attribute(node.target):
+                zone.flag(
+                    "SCHED001", node,
+                    "augmented assignment to a simulator _heap bypasses "
+                    "the tie-break hook; schedule via the engine API",
+                )
+        elif isinstance(node, ast.Call):
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Name)
+                and func.value.id == "heapq"
+                and func.attr in _HEAPQ_MUTATORS
+            ):
+                if any(_is_heap_attribute(arg) for arg in node.args):
+                    zone.flag(
+                        "SCHED001", node,
+                        f"heapq.{func.attr} on a simulator _heap bypasses "
+                        "the tie-break hook; schedule via the engine API",
+                    )
+            elif (
+                isinstance(func, ast.Attribute)
+                and func.attr in _LIST_MUTATORS
+                and _is_heap_attribute(func.value)
+            ):
+                zone.flag(
+                    "SCHED001", node,
+                    f"_heap.{func.attr}(...) mutates the event heap behind "
+                    "the tie-break hook; schedule via the engine API",
+                )
+
+
 def run_lint(
     paths: Iterable[Path],
     errno_source: Optional[Path] = None,
@@ -430,6 +506,8 @@ def run_lint(
         if errno_members is not None:
             _check_errno(tree, zone, errno_members)
         _check_slots(tree, zone)
+        if not (file.name == "engine.py" and "sim" in file.parts):
+            _check_sched(tree, zone)
 
     # TP001/TP002: registry cross-check over the same file set.
     problems, _, _ = check_fire_sites(files)

@@ -415,19 +415,38 @@ class _Condition:
             raise SimulationError(f"condition item {item!r} is not waitable")
 
 
+#: One scheduled heap entry: ``(when, seq, proc, value, exc)``.  For
+#: process resumes ``proc`` is the process; for timer callbacks ``proc``
+#: is ``None`` and ``value`` holds the :class:`_TimerHandle`.
+HeapEntry = Tuple[float, int, Optional["Process"], Any, Optional[BaseException]]
+
+#: A tie-break policy: given the simulator and the list of every heap
+#: entry ready at the current minimum timestamp (in FIFO ``seq`` order),
+#: return the index of the entry to pop next.  See
+#: :attr:`Simulator.tie_break`.
+TieBreak = Callable[["Simulator", List[HeapEntry]], int]
+
+
 class Simulator:
     """The discrete-event simulator: clock + event heap + process driver."""
 
-    __slots__ = ("now", "_heap", "_seq", "_active", "weak_scheduled")
+    __slots__ = ("now", "_heap", "_seq", "_active", "weak_scheduled", "tie_break")
 
     def __init__(self) -> None:
         self.now: float = 0
-        self._heap: List[Tuple[float, int, Optional[Process], Any, Optional[BaseException]]] = []
+        self._heap: List[HeapEntry] = []
         self._seq = 0
         self._active = 0
         #: Weak (clock-neutral) callbacks ever scheduled; lets tests
         #: assert that detached runs schedule zero metrics ticks.
         self.weak_scheduled = 0
+        #: Controllable-scheduler hook (``repro.modelcheck``).  When
+        #: ``None`` — always, outside model checking — ``_step`` pops the
+        #: heap directly and behaviour is bit-identical to the historical
+        #: FIFO order.  When set, every pop routes through
+        #: :meth:`_pop_tie_break`, which hands the policy all entries
+        #: sharing the minimum timestamp and pops the one it picks.
+        self.tie_break: Optional[TieBreak] = None
 
     # -- scheduling ----------------------------------------------------
 
@@ -516,7 +535,10 @@ class Simulator:
     # -- execution -----------------------------------------------------
 
     def _step(self) -> None:
-        when, _seq, proc, value, exc = heapq.heappop(self._heap)
+        if self.tie_break is None:
+            when, _seq, proc, value, exc = heapq.heappop(self._heap)
+        else:
+            when, _seq, proc, value, exc = self._pop_tie_break()
         if proc is None:
             # Timer/callback entry.  A cancelled one (fn is None) is a
             # tombstone: skipped without touching the clock.
@@ -550,6 +572,37 @@ class Simulator:
             self._finish(proc, None)
             return
         self._wait_on(proc, target)
+
+    def _pop_tie_break(self) -> HeapEntry:
+        """Pop under the :attr:`tie_break` policy.
+
+        Gathers every heap entry sharing the minimum timestamp (they
+        come off the heap in FIFO ``seq`` order), asks the policy which
+        one runs next, and pushes the rest back.  Pushed-back entries
+        re-enter the heap with their original tuples, so the relative
+        order among the survivors is preserved and a policy that always
+        answers ``0`` reproduces the plain ``heappop`` sequence exactly.
+        """
+        heap = self._heap
+        first = heapq.heappop(heap)
+        if not heap or heap[0][0] != first[0]:
+            ready = [first]
+        else:
+            when = first[0]
+            ready = [first]
+            while heap and heap[0][0] == when:
+                ready.append(heapq.heappop(heap))
+        policy = self.tie_break
+        assert policy is not None
+        choice = policy(self, ready)
+        if not 0 <= choice < len(ready):
+            raise SimulationError(
+                f"tie_break policy chose entry {choice} of {len(ready)} ready"
+            )
+        entry = ready.pop(choice)
+        for other in ready:
+            heapq.heappush(heap, other)
+        return entry
 
     def _live_work_pending(self) -> bool:
         """True when the heap still holds non-weak, non-tombstone work.

@@ -112,9 +112,11 @@ def check_quiescent(system: Any) -> list:
                 else not entry[2].finished
             )
         ]
+        # Compacting a quiescing heap (dead entries only) cannot change
+        # any pop order the tie-break hook would observe.
         if len(live) != len(sim._heap):
-            sim._heap = live
-            heapq.heapify(sim._heap)
+            sim._heap = live  # lint: allow(SCHED001)
+            heapq.heapify(sim._heap)  # lint: allow(SCHED001)
     if sim._heap:
         entries = ", ".join(
             f"t={entry[0]:.0f} {'timer' if entry[2] is None else entry[2].name}"

@@ -1,0 +1,19 @@
+"""SCHED001 fixture: event-heap mutation behind the tie-break hook."""
+
+import heapq
+
+
+def bad(sim, entry):
+    heapq.heappush(sim._heap, entry)  # finding: heapq mutator
+    heapq.heappop(sim._heap)  # finding: heapq mutator
+    sim._heap.append(entry)  # finding: list mutator
+    sim._heap.clear()  # finding: list mutator
+    sim._heap = []  # finding: direct assignment
+    sim._heap += [entry]  # finding: augmented assignment
+
+
+def fine(sim, entry, frozen):
+    sim.call_later(5, entry)  # the engine API is the legal route
+    heapq.heappush(frozen.queue, entry)  # not a _heap: out of scope
+    sim._heap = []  # lint: allow(SCHED001)
+    return list(sim._heap)  # reading the heap is fine

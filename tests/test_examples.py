@@ -24,6 +24,7 @@ EXAMPLES = [
     "serving_demo",
     "metrics_demo",
     "qos_demo",
+    "modelcheck_demo",
 ]
 
 

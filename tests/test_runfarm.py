@@ -16,6 +16,7 @@ from repro.runfarm import (
     default_workers,
     merge_reports,
     run_chaos_matrix,
+    run_frontier,
     run_jobs,
     shard,
 )
@@ -78,6 +79,60 @@ class TestRunJobs:
 
     def test_default_workers_positive(self):
         assert default_workers() >= 1
+
+
+def _frontier_cell(item):
+    """Module-level so forked pool workers can pickle the reference."""
+    return item * item
+
+
+class TestRunFrontier:
+    # Binary tree rooted at 0: node n expands to 2n+1, 2n+2, 15 nodes.
+    @staticmethod
+    def _tree_children(item, result):
+        del result
+        return [n for n in (2 * item + 1, 2 * item + 2) if n < 15]
+
+    def test_visited_set_is_worker_count_independent(self):
+        baseline = None
+        for workers in (1, 2, 4):
+            results, truncated = run_frontier(
+                [0], _frontier_cell, self._tree_children, workers=workers
+            )
+            assert not truncated
+            if baseline is None:
+                baseline = results
+            assert results == baseline, f"workers={workers} changed coverage"
+        assert baseline == [(n, n * n) for n in range(15)]
+
+    def test_budget_truncates_after_sorting(self):
+        # Waves are [0], [1, 2], [3..6], [7..14]; a 7-item budget runs
+        # the first three waves exactly, for any worker count.
+        for workers in (1, 4):
+            results, truncated = run_frontier(
+                [0],
+                _frontier_cell,
+                self._tree_children,
+                workers=workers,
+                max_items=7,
+            )
+            assert truncated
+            assert [item for item, _ in results] == list(range(7))
+
+    def test_duplicate_seed_keys_rejected(self):
+        with pytest.raises(ValueError, match="unique"):
+            run_frontier([3, 3], _frontier_cell, self._tree_children)
+
+    def test_expansion_dedupes_against_everything_seen(self):
+        # Overlapping lattice: n expands to n+1 and n+2, so every node
+        # past the seed is proposed twice; each must run exactly once.
+        results, truncated = run_frontier(
+            [0],
+            _frontier_cell,
+            lambda item, result: [n for n in (item + 1, item + 2) if n <= 6],
+        )
+        assert not truncated
+        assert [item for item, _ in results] == list(range(7))
 
 
 class TestChaosFarm:

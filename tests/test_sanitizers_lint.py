@@ -38,6 +38,7 @@ class TestHazardFixtures:
             ("err001_unknown_errno.py", "ERR001"),
             ("slot001_missing_slots.py", "SLOT001"),
             ("sim/slot002_unpicklable_state.py", "SLOT002"),
+            ("sched001_direct_heap.py", "SCHED001"),
         ],
     )
     def test_each_hazard_class_is_caught(self, fixture, code):
@@ -92,12 +93,34 @@ class TestHazardFixtures:
         findings = run_lint([FIXTURES / "sim" / "allow_pragma.py"])
         assert findings == [], "\n".join(f.render() for f in findings)
 
+    def test_sched001_catches_every_mutation_form(self):
+        findings = run_lint([FIXTURES / "sched001_direct_heap.py"])
+        sched = [f for f in findings if f.code == "SCHED001"]
+        # Exactly the six hazards in bad(); fine() uses the engine API,
+        # a non-_heap heapq push, a pragma, and a read.
+        assert len(sched) == 6, "\n".join(f.render() for f in sched)
+
+    def test_sched001_applies_outside_determinism_zones(self):
+        # Unlike DET*, heap mutation is a finding anywhere — a plugin
+        # or reporting layer poking a _heap breaks the model checker
+        # just as thoroughly as core code doing it.
+        findings = run_lint([FIXTURES / "sched001_direct_heap.py"])
+        assert any(f.code == "SCHED001" for f in findings)
+
+    def test_sched001_exempts_only_the_engine_itself(self):
+        engine = SRC / "sim" / "engine.py"
+        assert "SCHED001" not in codes_for(engine)
+        # The snapshot restore path compacts a quiesced heap and must
+        # carry explicit pragmas rather than an implicit exemption.
+        snapshot = (SRC / "sim" / "snapshot.py").read_text()
+        assert "lint: allow(SCHED001)" in snapshot
+
     def test_whole_fixture_dir_reports_every_class(self):
         findings = run_lint([FIXTURES])
         codes = {f.code for f in findings}
         assert codes >= {
             "DET001", "DET002", "DET003", "DET004",
-            "TP001", "TP002", "ERR001", "SLOT001",
+            "TP001", "TP002", "ERR001", "SLOT001", "SCHED001",
         }
         # Findings are sorted and carry renderable locations.
         rendered = [f.render() for f in findings]

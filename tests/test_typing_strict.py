@@ -1,4 +1,7 @@
-"""Satellite: strict typing gate over repro.sim and repro.core.
+"""Satellite: strict typing gate over the simulation substrate
+(repro.sim), the protocol core (repro.core), and the checking planes
+that reason about them (repro.sanitizers, repro.faults) — the packages
+the model checker composes, whose signatures certificates depend on.
 
 CI installs mypy and runs this for real; locally the test skips when
 mypy is absent (the container image does not carry it).  The config
@@ -16,12 +19,26 @@ mypy = pytest.importorskip("mypy")
 
 REPO = pathlib.Path(__file__).resolve().parent.parent
 
+GATED_PACKAGES = ("repro.sim", "repro.core", "repro.sanitizers", "repro.faults")
 
-def test_sim_and_core_pass_strict_mypy():
+
+def test_gated_packages_pass_strict_mypy():
+    args = [sys.executable, "-m", "mypy"]
+    for package in GATED_PACKAGES:
+        args += ["-p", package]
     result = subprocess.run(
-        [sys.executable, "-m", "mypy", "-p", "repro.sim", "-p", "repro.core"],
+        args,
         cwd=REPO,
         capture_output=True,
         text=True,
     )
     assert result.returncode == 0, result.stdout + result.stderr
+
+
+def test_pyproject_gates_the_same_packages():
+    # The CI step and this test must check the profile pyproject
+    # declares — a package added to one place but not the other would
+    # silently run unstrict.
+    text = (REPO / "pyproject.toml").read_text()
+    for package in GATED_PACKAGES:
+        assert f'"{package}.*"' in text, package
